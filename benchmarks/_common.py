@@ -1,0 +1,13 @@
+"""Shared bench helpers (imported by every benchmark module)."""
+
+from repro.experiments.common import Scale
+
+#: The bench scale: small enough for CI, big enough for contention.
+BENCH_SCALE = Scale("bench", n_nodes=8)
+BENCH_SEEDS = (0,)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

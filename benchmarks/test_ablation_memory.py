@@ -1,0 +1,26 @@
+"""Bench: the memory-resident ablation (paper §II-C premise).
+
+Shape assertions: RDD caching speeds up iterative LR on both storage
+architectures, and buys more on the compute-centric Lustre configuration
+(where re-reads burn shared OSS bandwidth every iteration).
+"""
+
+from _common import BENCH_SCALE, BENCH_SEEDS, run_once
+
+from repro.experiments.ablation_memory_resident import run as run_ablation
+
+
+def test_memory_residency_pays(benchmark):
+    result = run_once(benchmark, run_ablation, scale=BENCH_SCALE,
+                      seeds=BENCH_SEEDS)
+    rows = {r[0]: r for r in result.rows}
+    text = result.render()
+    hdfs_speedup = rows["hdfs"][3]
+    lustre_speedup = rows["lustre"][3]
+    # On the data-centric configuration re-reads are node-local and
+    # pipelined, so caching is close to free either way; never harmful.
+    assert hdfs_speedup > 0.95, text
+    # On Lustre every uncached iteration re-pulls the input through the
+    # shared OSS pool: caching must pay clearly.
+    assert lustre_speedup > 1.3, text
+    assert lustre_speedup > hdfs_speedup, text

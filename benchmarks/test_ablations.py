@@ -1,0 +1,125 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation perturbs one mechanism and asserts the direction of the
+effect, at a deliberately small scale so the whole file stays cheap:
+
+* ELB threshold — looser thresholds tolerate more imbalance;
+* CAD throttle step — disabling CAD forfeits the storing-phase gain;
+* delay-scheduling wait — the penalty grows with the wait;
+* fetch request size — smaller requests narrow the effective network;
+* SSD clean pool — a larger pool postpones the GC era.
+"""
+
+import numpy as np
+import pytest
+from _common import run_once
+
+from repro.cluster.variability import LognormalSpeed
+from repro.config import SparkConf
+from repro.core.engine import EngineOptions, run_job
+from repro.cluster.spec import hyperion
+from repro.net.request import request_rate_cap
+from repro.sim import Simulator
+from repro.storage.ssd import SSDDevice
+from repro.workloads import grep_spec, groupby_spec
+
+GB = 1024.0 ** 3
+MB = 1024.0 ** 2
+KB = 1024.0
+NODES = 6
+
+
+def _groupby(data_gb, store="ramdisk", **opt_kw):
+    spec = groupby_spec(data_gb * GB, shuffle_store=store,
+                        n_reducers=NODES * 16)
+    return run_job(spec, cluster_spec=hyperion(NODES),
+                   options=EngineOptions(seed=1, **opt_kw),
+                   speed_model=LognormalSpeed(sigma=0.18))
+
+
+def test_elb_threshold_sweep(benchmark):
+    """Tighter ELB thresholds yield tighter data distributions."""
+
+    def sweep():
+        spreads = {}
+        for threshold in (0.10, 0.25, 10.0):  # 10.0 ~ ELB disabled
+            res = _groupby(36, elb=True, elb_threshold=threshold)
+            d = res.node_intermediate
+            spreads[threshold] = float(d.max() / d.mean())
+        return spreads
+
+    spreads = run_once(benchmark, sweep)
+    assert spreads[0.10] <= spreads[0.25] <= spreads[10.0] + 1e-9, spreads
+    assert spreads[0.25] <= 1.25 + 0.20, spreads  # near its design target
+
+
+def test_cad_disabled_vs_enabled_on_congested_ssd(benchmark):
+    """CAD's throttle is what buys the storing-phase improvement."""
+
+    def sweep():
+        stock = _groupby(90, store="ssd", cad=False)
+        cad = _groupby(90, store="ssd", cad=True)
+        return stock.store_time, cad.store_time
+
+    stock_store, cad_store = run_once(benchmark, sweep)
+    assert cad_store < stock_store, (stock_store, cad_store)
+
+
+def test_delay_wait_sweep(benchmark):
+    """The locality wait is the poison: longer wait, slower job."""
+
+    def sweep():
+        times = []
+        for wait in (0.0, 1.0, 3.0):
+            spec = grep_spec(24 * GB, split_bytes=32 * MB,
+                             input_source="hdfs")
+            res = run_job(spec, cluster_spec=hyperion(NODES),
+                          options=EngineOptions(
+                              delay_scheduling=True, seed=1,
+                              conf=SparkConf(locality_wait=wait)),
+                          speed_model=LognormalSpeed(sigma=0.14))
+            times.append(res.job_time)
+        return times
+
+    t0, t1, t3 = run_once(benchmark, sweep)
+    assert t0 <= t1 * 1.02, (t0, t1)
+    assert t1 <= t3 * 1.02, (t1, t3)
+    assert t3 > t0 * 1.1, (t0, t3)
+
+
+def test_fetch_request_size_narrows_network(benchmark):
+    """Shrinking FetchRequests (1 GB -> 128 KB) slows the shuffle —
+    the lever the paper uses to create its network bottleneck."""
+
+    def sweep():
+        times = {}
+        for req in (1 * GB, 128 * KB):
+            spec = groupby_spec(36 * GB, n_reducers=NODES * 16)
+            res = run_job(spec, cluster_spec=hyperion(NODES),
+                          options=EngineOptions(
+                              seed=1, conf=SparkConf(
+                                  fetch_request_bytes=req)))
+            times[req] = res.fetch_time
+        return times
+
+    times = run_once(benchmark, sweep)
+    assert times[128 * KB] > 1.5 * times[1 * GB], times
+    # Sanity: the analytic cap behind the effect is monotone.
+    assert request_rate_cap(128 * KB, 4 * GB) < request_rate_cap(GB, 4 * GB)
+
+
+def test_ssd_clean_pool_postpones_gc(benchmark):
+    """A bigger clean pool keeps the device in its fast era longer."""
+
+    def sweep():
+        results = {}
+        for pool in (2 * GB, 16 * GB):
+            sim = Simulator()
+            ssd = SSDDevice(sim, clean_pool_bytes=pool)
+            done = ssd.write(8 * GB)
+            sim.run(until=done)
+            results[pool] = sim.now
+        return results
+
+    times = run_once(benchmark, sweep)
+    assert times[16 * GB] < times[2 * GB], times

@@ -1,0 +1,40 @@
+"""Bench: Fig 5 — input from HDFS vs Lustre.
+
+Shape assertions:
+* Grep (scan-bound): Lustre is several times slower than HDFS at 32 MB
+  splits (paper: up to 5.7x), and growing the split size helps Lustre.
+* LR (compute-bound): the storage architecture barely matters; Lustre is
+  not slower — the paper even measures it ~12.7% faster because delay
+  scheduling taxes the HDFS configuration.
+"""
+
+from _common import BENCH_SCALE, BENCH_SEEDS, run_once
+
+from repro.experiments.fig05_input_location import run as run_fig05
+
+MB = 1024.0 ** 2
+
+
+def _rows(result, benchmark_name):
+    return {r[1]: r for r in result.rows if r[0] == benchmark_name}
+
+
+def test_fig05_shapes(benchmark):
+    result = run_once(benchmark, run_fig05, scale=BENCH_SCALE,
+                      seeds=BENCH_SEEDS)
+    grep = _rows(result, "grep")
+    lr = _rows(result, "lr")
+
+    # Grep at 32 MB: Lustre much slower than HDFS (paper: up to 5.7x).
+    slowdown_32 = grep[32.0][4]
+    assert slowdown_32 > 2.0, result.render()
+    assert slowdown_32 < 12.0, result.render()
+
+    # Larger splits help the Lustre configuration (paper: 15.9%).
+    assert grep[128.0][3] < grep[32.0][3], result.render()
+
+    # LR: architectures comparable; Lustre not slower than HDFS.
+    ratio_lr = lr[32.0][4]
+    assert ratio_lr < 1.05, result.render()
+    # And clearly less sensitive than Grep.
+    assert ratio_lr < slowdown_32 / 2, result.render()

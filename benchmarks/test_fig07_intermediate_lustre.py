@@ -1,0 +1,41 @@
+"""Bench: Fig 7 — intermediate data on HDFS vs Lustre-local vs -shared.
+
+Shape assertions (paper §IV-B):
+* HDFS (RAMDisk) beats Lustre-local, increasingly with data size
+  (paper: up to 6.5x, growing linearly).
+* Lustre-shared is worse than Lustre-local (paper: up to 3.8x), with the
+  damage concentrated in the *shuffling* phase (paper: up to an order of
+  magnitude) while the storing phases stay comparable.
+"""
+
+import math
+
+from _common import BENCH_SCALE, BENCH_SEEDS, run_once
+
+from repro.experiments.common import GB
+from repro.experiments.fig07_intermediate_lustre import run as run_fig07
+
+SIZES = (100 * GB, 400 * GB, 800 * GB)
+
+
+def test_fig07_shapes(benchmark):
+    result = run_once(benchmark, run_fig07, scale=BENCH_SCALE,
+                      seeds=BENCH_SEEDS, data_sizes=SIZES)
+    rows = {r[0]: r for r in result.rows}
+    text = result.render()
+
+    # Lustre-local loses to HDFS, by more as data grows (the paper's gap
+    # also starts small and grows linearly with the data size).
+    ratios = [rows[s / GB][4] for s in SIZES]
+    assert ratios[-1] > ratios[0], text
+    assert ratios[-1] > 2.5, text
+
+    # Lustre-shared well behind Lustre-local at the larger sizes.
+    shared_over_local = rows[SIZES[-1] / GB][5]
+    assert shared_over_local > 1.5, text
+
+    # Dissection: storing comparable, shuffling blown up.
+    big = rows[SIZES[-1] / GB]
+    local_store, local_fetch, shared_store, shared_fetch = big[6:10]
+    assert shared_store < 2.0 * local_store, text
+    assert shared_fetch > 3.0 * local_fetch, text

@@ -1,0 +1,53 @@
+"""Bench: Fig 8 — SSD vs RAMDisk for intermediate data.
+
+Shape assertions (paper §IV-C/D):
+* small data: SSD ≈ RAMDisk (page cache absorbs the writes);
+* large data: RAMDisk clearly faster (SSD GC era);
+* ShuffleMapTask fastest/slowest spread explodes at the largest size
+  (paper: up to 18x at 1.5 TB);
+* Fig 8(d): mean task duration increases era over era (fast → degraded
+  → severe).
+"""
+
+import math
+
+from _common import BENCH_SCALE, BENCH_SEEDS, run_once
+
+from repro.experiments.common import GB, TB
+from repro.experiments.fig08_ssd import run as run_fig08
+from repro.experiments.fig08_ssd import run_task_trace
+
+SIZES = (100 * GB, 600 * GB, 1.5 * TB)
+
+
+def test_fig08_shapes(benchmark):
+    result = run_once(benchmark, run_fig08, scale=BENCH_SCALE,
+                      seeds=BENCH_SEEDS, data_sizes=SIZES)
+    rows = {r[0]: r for r in result.rows}
+    text = result.render()
+
+    # Small: comparable (within ~35%).
+    small_ratio = rows[100.0][3]
+    assert small_ratio < 1.35, text
+
+    # Large: RAMDisk clearly ahead (if it still fits) — otherwise the
+    # SSD run must at least be far slower than its own small-data runs.
+    big = rows[SIZES[-1] / GB]
+    if not math.isnan(big[1]):
+        assert big[3] > 1.5, text
+
+    # Task spread grows dramatically with data size.
+    spread_small = rows[100.0][7]
+    spread_big = big[7]
+    assert spread_big > 4 * spread_small, text
+    assert spread_big > 6.0, text
+
+
+def test_fig08d_eras(benchmark):
+    result = run_once(benchmark, run_task_trace, scale=BENCH_SCALE,
+                      seed=BENCH_SEEDS[0], paper_bytes=1.5 * TB)
+    eras = result.extra.get("era_means")
+    assert eras is not None, result.render()
+    fast, degraded, severe = eras
+    assert degraded > 1.3 * fast, eras
+    assert severe > degraded, eras

@@ -1,0 +1,31 @@
+"""Bench: Fig 9 — delay scheduling degrades jobs on the HPC fabric.
+
+Shape assertions: enabling delay scheduling degrades Grep severely and
+LR mildly (paper at 32 MB splits: +42.7% and +9.9%), and Grep suffers
+more than LR (short scan tasks pay relatively more for idle slots).
+"""
+
+from _common import BENCH_SCALE, BENCH_SEEDS, run_once
+
+from repro.experiments.common import MB
+from repro.experiments.fig09_delay_scheduling import run as run_fig09
+
+SPLITS = (32 * MB, 128 * MB)
+
+
+def test_fig09_shapes(benchmark):
+    result = run_once(benchmark, run_fig09, scale=BENCH_SCALE,
+                      seeds=BENCH_SEEDS, splits=SPLITS)
+    rows = {(r[0], r[1]): r for r in result.rows}
+    text = result.render()
+
+    grep_deg = rows[("grep", 32.0)][4]
+    lr_deg = rows[("lr", 32.0)][4]
+
+    # Both degrade; Grep much more than LR.
+    assert grep_deg > 15.0, text
+    assert lr_deg > 0.0, text
+    assert grep_deg > 1.5 * lr_deg, text
+    # Orders of magnitude sane (not a pathological blow-up).
+    assert grep_deg < 150.0, text
+    assert lr_deg < 40.0, text

@@ -1,0 +1,26 @@
+"""Bench: Fig 10 — local vs remote input barely changes task times.
+
+Shape assertion: with pipelined input on an InfiniBand fabric, mean task
+execution time with remote data stays within ~40% of local (the paper
+shows near-equal bars for all three benchmarks).
+"""
+
+import math
+
+from _common import BENCH_SCALE, BENCH_SEEDS, run_once
+
+from repro.experiments.fig10_task_locality import run as run_fig10
+
+
+def test_fig10_shapes(benchmark):
+    result = run_once(benchmark, run_fig10, scale=BENCH_SCALE,
+                      seeds=BENCH_SEEDS)
+    text = result.render()
+    checked = 0
+    for row in result.rows:
+        ratio = row[-1]
+        if isinstance(ratio, float) and not math.isnan(ratio):
+            assert 0.6 < ratio < 1.4, text
+            checked += 1
+    # At least Grep and LR must have produced both local and remote tasks.
+    assert checked >= 2, text

@@ -1,0 +1,29 @@
+"""Bench: Fig 12 — skewed task assignment skews intermediate data.
+
+Shape assertion: with realistic node-speed variation and a greedy
+scheduler, the tail nodes of the distribution host roughly 2x the
+intermediate data of the head nodes (paper: 7 GB vs >14 GB per node in
+the 5000-task/100-node case).
+"""
+
+from _common import BENCH_SCALE, run_once
+
+from repro.experiments.fig12_load_imbalance import run as run_fig12
+
+# Scaled analogues of the paper's three cases.
+CASES = ((2500, 50), (5000, 100))
+SEEDS = (0, 1, 2)
+
+
+def test_fig12_shapes(benchmark):
+    result = run_once(benchmark, run_fig12, scale=BENCH_SCALE,
+                      seeds=SEEDS, cases=CASES)
+    text = result.render()
+    for row in result.rows:
+        tail_over_head = row[5]
+        assert 1.1 < tail_over_head < 4.0, text
+        # Task counts skew alongside data (same mechanism).
+        assert row[6] > 1.1, text
+    # The larger case (more nodes) shows the stronger tail, approaching
+    # the paper's ~2x.
+    assert result.rows[-1][5] > 1.3, text

@@ -1,0 +1,34 @@
+"""Bench: Fig 13 — Enhanced Load Balancer.
+
+Shape assertions:
+* storage bottleneck (SSD): ELB clearly improves job time at the largest
+  sizes (paper: ~26% between 1 and 1.5 TB) via a faster storing phase;
+* network bottleneck (128 KB fetch requests): ELB speeds up the shuffle
+  phase (paper: ~29% on average).
+"""
+
+from _common import BENCH_SCALE, run_once
+
+from repro.experiments.common import GB, TB
+from repro.experiments.fig13_elb import run as run_fig13
+
+STORAGE_SIZES = (1.5 * TB,)
+NETWORK_SIZES = (800 * GB,)
+SEEDS = (0, 1, 2)
+
+
+def test_fig13_shapes(benchmark):
+    result = run_once(benchmark, run_fig13, scale=BENCH_SCALE,
+                      seeds=SEEDS, storage_sizes=STORAGE_SIZES,
+                      network_sizes=NETWORK_SIZES)
+    text = result.render()
+    by_scenario = {r[0]: r for r in result.rows}
+
+    storage = by_scenario["storage"]
+    job_gain = storage[4]
+    assert job_gain > 8.0, text          # paper: ~26%
+    assert storage[6] < storage[5], text  # ELB storing faster
+
+    network = by_scenario["network"]
+    spark_fetch, elb_fetch = network[7], network[8]
+    assert elb_fetch < spark_fetch * 0.92, text  # paper: ~29% faster

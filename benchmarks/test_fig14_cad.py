@@ -1,0 +1,36 @@
+"""Bench: Fig 14 — Congestion-Aware task Dispatching.
+
+Shape assertions: no effect at small data sizes (page cache absorbs the
+writes, no congestion to react to); a clear storing-phase improvement at
+the largest sizes (paper: up to 41.2% over 700 GB–1.5 TB) that carries
+into job time (paper: ~19.8% average), without hurting the other phases.
+"""
+
+from _common import BENCH_SCALE, run_once
+
+from repro.experiments.common import GB, TB
+from repro.experiments.fig14_cad import run as run_fig14
+
+SIZES = (400 * GB, 1.5 * TB)
+SEEDS = (0, 1, 2)
+
+
+def test_fig14_shapes(benchmark):
+    result = run_once(benchmark, run_fig14, scale=BENCH_SCALE,
+                      seeds=SEEDS, data_sizes=SIZES)
+    text = result.render()
+    rows = {r[0]: r for r in result.rows}
+
+    small = rows[400.0]
+    big = rows[SIZES[-1] / GB]
+
+    # Small data: CAD must not hurt (within noise).
+    assert abs(small[3]) < 12.0, text
+
+    # Large data: storing phase clearly faster with CAD.
+    store_gain = big[6]
+    assert store_gain > 10.0, text      # paper: up to 41.2%
+    # And the job overall benefits.
+    assert big[3] > 3.0, text           # paper: ~19.8% average
+    # Fetch phase not made dramatically worse.
+    assert big[8] < 1.4 * big[7], text

@@ -1,0 +1,11 @@
+"""Bench: regenerate Table I and verify it matches the paper exactly."""
+
+from _common import run_once
+
+from repro.experiments.table1_config import run as run_table1
+
+
+def test_table1_matches_paper(benchmark):
+    result = run_once(benchmark, run_table1)
+    assert len(result.rows) == 5
+    assert all(row[-1] == "yes" for row in result.rows), result.render()

@@ -1,0 +1,13 @@
+"""Ensure the in-tree package is importable even without installation.
+
+Offline environments may lack the ``wheel`` package needed for
+``pip install -e .``; ``python setup.py develop`` works there, and this
+shim makes ``pytest`` work from a bare checkout either way.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

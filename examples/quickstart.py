@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quickstart: both faces of the library in two minutes.
+
+1. Really execute an RDD program (word count) on the local backend.
+2. Simulate the paper's GroupBy benchmark on a Hyperion-like cluster and
+   print the phase dissection the paper's figures are built from.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import EngineOptions, LocalContext, hyperion, run_job
+from repro.core.dag import execution_plan
+from repro.workloads import groupby_spec
+
+GB = 1024.0 ** 3
+
+
+def real_wordcount() -> None:
+    print("== 1. Real execution: word count on the RDD API ==")
+    ctx = LocalContext(parallelism=4)
+    lines = [
+        "big data meets high performance computing",
+        "memory resident mapreduce on hpc systems",
+        "data locality is not so critical on hpc systems",
+    ]
+    words = ctx.parallelize(lines).flat_map(str.split)
+    counts = (words.map(lambda w: (w, 1))
+              .reduce_by_key(lambda a, b: a + b))
+    print("execution plan (note the shuffle boundary, paper Fig 4(a)):")
+    print(execution_plan(counts).describe())
+    top = sorted(counts.collect(), key=lambda kv: -kv[1])[:5]
+    print("top words:", top)
+    print()
+
+
+def simulated_groupby() -> None:
+    print("== 2. Simulation: GroupBy on a scaled Hyperion ==")
+    spec = groupby_spec(data_bytes=40 * GB, shuffle_store="ramdisk")
+    result = run_job(spec, cluster_spec=hyperion(n_nodes=8),
+                     options=EngineOptions(seed=0))
+    print(result.summary())
+    print(f"intermediate data per node (GB): "
+          f"{[round(b / GB, 2) for b in result.node_intermediate]}")
+
+
+if __name__ == "__main__":
+    real_wordcount()
+    simulated_groupby()

@@ -1,0 +1,68 @@
+"""repro — Memory-Resident MapReduce on HPC Systems.
+
+A from-scratch reproduction of *"Characterization and Optimization of
+Memory-Resident MapReduce on HPC Systems"* (Wang, Goldstone, Yu, Wang —
+IEEE IPDPS 2014): a miniature Spark-like engine with two execution
+backends (a real in-process RDD evaluator and a discrete-event simulator
+of an HPC cluster), the full storage substrate the paper characterizes
+(Lustre with distributed locking, HDFS over RAMDisk, SSDs with
+garbage-collection interference), and the paper's two optimizations —
+the Enhanced Load Balancer (ELB) and Congestion-Aware task Dispatching
+(CAD).
+
+Quickstart::
+
+    from repro import LocalContext, run_job, hyperion
+    from repro.workloads import groupby_spec
+
+    # Really compute with the RDD API:
+    ctx = LocalContext(parallelism=4)
+    ctx.parallelize(range(10)).map(lambda x: x * x).collect()
+
+    # Simulate the paper's GroupBy benchmark on a Hyperion-like cluster:
+    result = run_job(groupby_spec(data_bytes=50 * 2**30),
+                     cluster_spec=hyperion(n_nodes=10))
+    print(result.summary())
+"""
+
+from repro.config import SparkConf, TABLE_I
+from repro.cluster import (
+    Cluster,
+    ClusterSpec,
+    ConstantSpeed,
+    LognormalSpeed,
+    NodeSpec,
+    UniformSpeed,
+    hyperion,
+)
+from repro.core import (
+    EngineOptions,
+    JobResult,
+    JobSpec,
+    LocalContext,
+    RDD,
+    SparkSim,
+    run_job,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "ClusterSpec",
+    "ConstantSpeed",
+    "EngineOptions",
+    "JobResult",
+    "JobSpec",
+    "LocalContext",
+    "LognormalSpeed",
+    "NodeSpec",
+    "RDD",
+    "SparkConf",
+    "SparkSim",
+    "TABLE_I",
+    "UniformSpeed",
+    "hyperion",
+    "run_job",
+    "__version__",
+]

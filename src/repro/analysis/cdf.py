@@ -1,0 +1,32 @@
+"""Cumulative distribution helpers (paper Fig 12)."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["cdf", "percentile_spread"]
+
+
+def cdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: returns (sorted values, cumulative probability)."""
+    v = np.asarray(list(values), dtype=float)
+    if v.size == 0:
+        raise ValueError("cdf of empty sequence")
+    x = np.sort(v)
+    p = np.arange(1, len(x) + 1) / len(x)
+    return x, p
+
+
+def percentile_spread(values: Sequence[float], low: float = 5.0,
+                      high: float = 95.0) -> float:
+    """Tail-to-head ratio of a distribution (the paper's "first 3 nodes
+    vs last 10 nodes" comparison generalised to percentiles)."""
+    v = np.asarray(list(values), dtype=float)
+    if v.size == 0:
+        raise ValueError("spread of empty sequence")
+    lo = np.percentile(v, low)
+    if lo <= 0:
+        return float("inf")
+    return float(np.percentile(v, high) / lo)

@@ -1,0 +1,35 @@
+"""Run aggregation: the paper reports the median of five runs."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+__all__ = ["median_of", "ratio", "speedup", "improvement"]
+
+
+def median_of(run: Callable[[int], float], seeds: Sequence[int]) -> float:
+    """Run ``run(seed)`` for every seed and return the median result."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    return float(np.median([run(s) for s in seeds]))
+
+
+def ratio(a: float, b: float) -> float:
+    """a/b with a guard for degenerate divisors."""
+    if b <= 0:
+        return float("inf")
+    return a / b
+
+
+def speedup(baseline: float, optimised: float) -> float:
+    """How many times faster ``optimised`` is than ``baseline``."""
+    return ratio(baseline, optimised)
+
+
+def improvement(baseline: float, optimised: float) -> float:
+    """Relative improvement in percent (the paper's "26%" style numbers)."""
+    if baseline <= 0:
+        return 0.0
+    return (baseline - optimised) / baseline * 100.0

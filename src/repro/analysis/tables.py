@@ -1,0 +1,52 @@
+"""Plain-text rendering of experiment results."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["format_table", "ascii_bar_chart"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([_fmt(c) for c in row])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "n/a"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def ascii_bar_chart(labels: Sequence[str], values: Sequence[float],
+                    width: int = 50, title: str = "") -> str:
+    """A horizontal bar chart for quick terminal inspection."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    vmax = max((v for v in values if v == v), default=0.0)
+    lines: List[str] = [title] if title else []
+    lw = max((len(l) for l in labels), default=0)
+    for label, v in zip(labels, values):
+        if v != v:  # NaN
+            lines.append(f"{label.ljust(lw)} | n/a")
+            continue
+        n = int(round(width * v / vmax)) if vmax > 0 else 0
+        lines.append(f"{label.ljust(lw)} | {'#' * n} {v:.2f}")
+    return "\n".join(lines)

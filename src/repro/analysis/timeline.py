@@ -1,0 +1,150 @@
+"""Task-timeline analysis: Gantt rendering, utilization, exports.
+
+The paper's per-task figures (8(c), 8(d), 10, 12) all derive from task
+traces.  This module turns a :class:`~repro.core.metrics.JobResult` into:
+
+* an ASCII Gantt chart of task execution per node (quick diagnosis of
+  stragglers, idle slots, and phase boundaries in a terminal);
+* per-node slot-utilization series;
+* CSV/JSON exports for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.metrics import JobResult, TaskRecord
+
+__all__ = ["gantt", "slot_utilization", "to_csv", "to_json",
+           "phase_boundaries"]
+
+_PHASE_GLYPHS = {"compute": "c", "store": "s", "fetch": "f"}
+
+
+def gantt(result: JobResult, width: int = 80,
+          phases: Optional[Sequence[str]] = None) -> str:
+    """Render one row per node; glyphs mark which phase occupied slots.
+
+    Each column is a time bucket; the glyph is the phase with the most
+    busy slot-time in that bucket on that node (uppercase when the node
+    is at least half busy, lowercase otherwise, '.' when idle).
+    """
+    tasks = [t for t in result.all_tasks()
+             if phases is None or t.phase in phases]
+    if not tasks:
+        return "(no tasks)"
+    t_end = max(t.finished_at for t in tasks)
+    if t_end <= 0:
+        return "(zero-length job)"
+    nodes = sorted({t.node for t in tasks})
+    dt = t_end / width
+    # busy[node][bucket][phase] = busy slot-seconds
+    lines = []
+    max_busy = _peak_slots(tasks)
+    for node in nodes:
+        buckets: List[Dict[str, float]] = [dict() for _ in range(width)]
+        for t in (x for x in tasks if x.node == node):
+            b0 = min(width - 1, int(t.started_at / dt))
+            b1 = min(width - 1, int(max(t.started_at, t.finished_at - 1e-12)
+                                    / dt))
+            for b in range(b0, b1 + 1):
+                lo = max(t.started_at, b * dt)
+                hi = min(t.finished_at, (b + 1) * dt)
+                if hi > lo:
+                    buckets[b][t.phase] = buckets[b].get(t.phase, 0.0) + \
+                        (hi - lo)
+        row = []
+        for b in range(width):
+            if not buckets[b]:
+                row.append(".")
+                continue
+            phase, busy = max(buckets[b].items(), key=lambda kv: kv[1])
+            glyph = _PHASE_GLYPHS.get(phase, phase[0])
+            utilization = busy / (dt * max_busy) if max_busy else 0.0
+            row.append(glyph.upper() if utilization >= 0.5 else glyph)
+        lines.append(f"node {node:3d} |{''.join(row)}|")
+    header = (f"timeline 0 .. {t_end:.2f}s  "
+              f"({', '.join(f'{g}={p}' for p, g in _PHASE_GLYPHS.items())}; "
+              f"UPPER = >=50% busy)")
+    return "\n".join([header] + lines)
+
+
+def _peak_slots(tasks: Sequence[TaskRecord]) -> int:
+    events = []
+    for t in tasks:
+        events.append((t.started_at, 1))
+        events.append((t.finished_at, -1))
+    events.sort()
+    peak = run = 0
+    for _, d in events:
+        run += d
+        peak = max(peak, run)
+    return max(1, peak)
+
+
+def slot_utilization(result: JobResult, node: int,
+                     n_buckets: int = 50) -> np.ndarray:
+    """Busy slot-seconds per time bucket for one node (all phases)."""
+    tasks = [t for t in result.all_tasks() if t.node == node]
+    t_end = max((t.finished_at for t in result.all_tasks()), default=0.0)
+    out = np.zeros(n_buckets)
+    if t_end <= 0:
+        return out
+    dt = t_end / n_buckets
+    for t in tasks:
+        b0 = min(n_buckets - 1, int(t.started_at / dt))
+        b1 = min(n_buckets - 1, int(max(t.started_at,
+                                        t.finished_at - 1e-12) / dt))
+        for b in range(b0, b1 + 1):
+            lo = max(t.started_at, b * dt)
+            hi = min(t.finished_at, (b + 1) * dt)
+            out[b] += max(0.0, hi - lo)
+    return out
+
+
+def phase_boundaries(result: JobResult) -> Dict[str, tuple]:
+    """(start, end) per phase, for annotating plots."""
+    return {name: (ph.start, ph.end) for name, ph in result.phases.items()}
+
+
+def to_csv(result: JobResult) -> str:
+    """Task trace as CSV (one row per task)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["task_id", "phase", "node", "queued_at", "started_at",
+                     "finished_at", "duration", "wait", "bytes", "local"])
+    for t in sorted(result.all_tasks(),
+                    key=lambda x: (x.started_at, x.task_id)):
+        writer.writerow([t.task_id, t.phase, t.node, t.queued_at,
+                         t.started_at, t.finished_at, t.duration, t.wait,
+                         t.bytes, t.local])
+    return buf.getvalue()
+
+
+def to_json(result: JobResult) -> str:
+    """Full job result as JSON (metrics + per-task trace)."""
+    payload = {
+        "job_name": result.job_name,
+        "job_time": result.job_time,
+        "seed": result.seed,
+        "phases": {
+            name: {"start": ph.start, "end": ph.end,
+                   "duration": ph.duration, "n_tasks": len(ph.tasks)}
+            for name, ph in result.phases.items()
+        },
+        "node_intermediate": result.node_intermediate.tolist(),
+        "node_task_counts": result.node_task_counts.tolist(),
+        "tasks": [
+            {"task_id": t.task_id, "phase": t.phase, "node": t.node,
+             "queued_at": t.queued_at, "started_at": t.started_at,
+             "finished_at": t.finished_at, "bytes": t.bytes,
+             "local": t.local}
+            for t in result.all_tasks()
+        ],
+    }
+    return json.dumps(payload, indent=2)

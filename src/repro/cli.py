@@ -1,0 +1,128 @@
+"""Top-level command-line interface.
+
+Subcommands::
+
+    python -m repro describe-cluster [--nodes N]
+    python -m repro run --workload groupby --data-gb 40 [--nodes N]
+        [--store ramdisk|ssd|lustre] [--elb] [--cad] [--delay-scheduling]
+        [--speculation] [--failure-rate P] [--seed S]
+        [--gantt] [--csv FILE] [--json FILE]
+    python -m repro experiments ...      (alias of repro.experiments CLI)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.timeline import gantt, to_csv, to_json
+from repro.cluster.spec import GB, MB, hyperion
+from repro.cluster.variability import LognormalSpeed
+from repro.core.engine import EngineOptions, run_job
+from repro.workloads import (
+    grep_spec,
+    groupby_spec,
+    kmeans_spec,
+    logistic_regression_spec,
+    wordcount_spec,
+)
+
+__all__ = ["main"]
+
+WORKLOADS = {
+    "groupby": lambda data, store: groupby_spec(data, shuffle_store=store),
+    "grep": lambda data, store: grep_spec(data),
+    "lr": lambda data, store: logistic_regression_spec(data),
+    "wordcount": lambda data, store: wordcount_spec(data),
+    "kmeans": lambda data, store: kmeans_spec(data),
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Memory-resident MapReduce on HPC systems (IPDPS'14 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    desc = sub.add_parser("describe-cluster",
+                          help="print the simulated testbed's spec")
+    desc.add_argument("--nodes", type=int, default=100)
+
+    run = sub.add_parser("run", help="simulate one job")
+    run.add_argument("--workload", choices=sorted(WORKLOADS),
+                     default="groupby")
+    run.add_argument("--data-gb", type=float, default=40.0)
+    run.add_argument("--nodes", type=int, default=8)
+    run.add_argument("--store", choices=["ramdisk", "ssd", "lustre"],
+                     default="ramdisk")
+    run.add_argument("--elb", action="store_true")
+    run.add_argument("--cad", action="store_true")
+    run.add_argument("--delay-scheduling", action="store_true")
+    run.add_argument("--speculation", action="store_true")
+    run.add_argument("--failure-rate", type=float, default=0.0)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--speed-sigma", type=float, default=0.18)
+    run.add_argument("--gantt", action="store_true",
+                     help="render an ASCII task timeline")
+    run.add_argument("--csv", metavar="FILE",
+                     help="write the task trace as CSV")
+    run.add_argument("--json", metavar="FILE",
+                     help="write full job metrics as JSON")
+
+    args = parser.parse_args(argv)
+    if args.command == "describe-cluster":
+        return _describe(args)
+    return _run(args)
+
+
+def _describe(args) -> int:
+    spec = hyperion(args.nodes)
+    node = spec.node
+    print(f"cluster: {spec.n_nodes} nodes "
+          f"({spec.n_nodes * node.cores} cores)")
+    print(f"  node: {node.cores} cores, {node.ram_bytes / GB:.0f} GB RAM "
+          f"({node.spark_mem_bytes / GB:.0f} GB Spark, "
+          f"{node.ramdisk_bytes / GB:.0f} GB RAMDisk)")
+    print(f"  ramdisk: {node.ramdisk_read_bw / GB:.1f}/"
+          f"{node.ramdisk_write_bw / GB:.1f} GB/s r/w, "
+          f"{node.ramdisk_usable_bytes / GB:.0f} GB usable")
+    print(f"  ssd: {node.ssd_bytes / GB:.0f} GB, "
+          f"{node.ssd_read_bw / MB:.0f}/{node.ssd_write_bw / MB:.0f} "
+          f"MB/s r/w, clean pool {node.ssd_clean_pool_bytes / GB:.0f} GB")
+    print(f"  page cache: {node.page_cache_bytes / GB:.0f} GB "
+          f"(dirty limit {node.page_cache_dirty_bytes / GB:.0f} GB)")
+    print(f"  nic: {spec.nic_bw / GB:.1f} GB/s full duplex")
+    print(f"  lustre: {spec.lustre_aggregate_bw / GB:.1f} GB/s aggregate, "
+          f"{spec.lustre_n_oss} OSSes, "
+          f"{spec.lustre_mds_ops_per_s:.0f} MDS ops/s")
+    return 0
+
+
+def _run(args) -> int:
+    spec = WORKLOADS[args.workload](args.data_gb * GB, args.store)
+    options = EngineOptions(
+        delay_scheduling=args.delay_scheduling, elb=args.elb, cad=args.cad,
+        speculation=args.speculation, task_failure_rate=args.failure_rate,
+        seed=args.seed)
+    result = run_job(spec, cluster_spec=hyperion(args.nodes),
+                     options=options,
+                     speed_model=LognormalSpeed(sigma=args.speed_sigma))
+    print(result.summary())
+    if args.gantt:
+        print()
+        print(gantt(result))
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write(to_csv(result))
+        print(f"wrote task trace: {args.csv}")
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(to_json(result))
+        print(f"wrote job metrics: {args.json}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Compute-cluster substrate: node specs, runtime nodes, variability."""
+
+from repro.cluster.spec import ClusterSpec, NodeSpec, hyperion
+from repro.cluster.node import ComputeNode
+from repro.cluster.cluster import Cluster
+from repro.cluster.variability import (
+    ConstantSpeed,
+    LognormalSpeed,
+    SpeedModel,
+    UniformSpeed,
+)
+
+__all__ = [
+    "Cluster",
+    "ClusterSpec",
+    "ComputeNode",
+    "ConstantSpeed",
+    "LognormalSpeed",
+    "NodeSpec",
+    "SpeedModel",
+    "UniformSpeed",
+    "hyperion",
+]

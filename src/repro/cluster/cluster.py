@@ -1,0 +1,73 @@
+"""Cluster assembly: nodes + fabric + filesystems."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.sim.core import Simulator
+from repro.sim.rng import RandomStreams
+from repro.cluster.node import ComputeNode
+from repro.cluster.spec import ClusterSpec
+from repro.cluster.variability import ConstantSpeed, SpeedModel
+from repro.net.fabric import Fabric
+from repro.lustre.fs import LustreFileSystem
+from repro.hdfs.fs import HDFSFileSystem
+from repro.storage.device import MB
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A fully wired simulated HPC system.
+
+    Builds the compute nodes (with per-node speed factors from the given
+    :class:`SpeedModel`), the InfiniBand-like fabric, the shared Lustre
+    file system (compute-centric storage) and an HDFS instance over the
+    node-local RAMDisks (data-centric storage).
+    """
+
+    def __init__(self, spec: Optional[ClusterSpec] = None,
+                 sim: Optional[Simulator] = None,
+                 speed_model: Optional[SpeedModel] = None,
+                 seed: int = 0,
+                 hdfs_volume: str = "ramdisk",
+                 hdfs_block_size: float = 128 * MB) -> None:
+        self.spec = spec if spec is not None else ClusterSpec()
+        self.sim = sim if sim is not None else Simulator()
+        self.rng = RandomStreams(seed)
+        speed_model = speed_model if speed_model is not None else ConstantSpeed()
+        factors = speed_model.sample(self.spec.n_nodes, self.rng("node-speed"))
+        self.nodes: List[ComputeNode] = [
+            ComputeNode(self.sim, i, self.spec.node, speed_factor=float(f))
+            for i, f in enumerate(factors)
+        ]
+        self.fabric = Fabric(self.sim, self.spec.n_nodes,
+                             nic_bw=self.spec.nic_bw,
+                             bisection_bw=self.spec.bisection_bw,
+                             latency=self.spec.net_latency)
+        self.lustre = LustreFileSystem(
+            self.sim, self.spec.n_nodes,
+            aggregate_bw=self.spec.lustre_aggregate_bw,
+            n_oss=self.spec.lustre_n_oss,
+            mds_ops_per_s=self.spec.lustre_mds_ops_per_s,
+            open_latency=self.spec.lustre_open_latency,
+            revoke_latency=self.spec.lustre_lock_revoke_latency,
+            memory_bw=self.spec.node.memory_copy_bw)
+        self.hdfs = HDFSFileSystem(self.sim, self.nodes, self.fabric,
+                                   volume_name=hdfs_volume,
+                                   block_size=hdfs_block_size)
+
+    @property
+    def n_nodes(self) -> int:
+        return self.spec.n_nodes
+
+    @property
+    def total_cores(self) -> int:
+        return self.spec.n_nodes * self.spec.node.cores
+
+    def node(self, node_id: int) -> ComputeNode:
+        return self.nodes[node_id]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Cluster {self.n_nodes} nodes x "
+                f"{self.spec.node.cores} cores>")

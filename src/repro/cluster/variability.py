@@ -1,0 +1,72 @@
+"""Node performance-variation models.
+
+The paper (§V-B) observes that although HPC compute nodes are
+homogeneous, *performance variations among compute nodes due to the skew
+of workloads over time* make fast nodes absorb more tasks, which skews
+the intermediate-data distribution ~2× between head and tail nodes
+(Fig 12).  These models supply per-node speed factors; a factor of 1.2
+means 20 % faster computation than nominal.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["SpeedModel", "ConstantSpeed", "UniformSpeed", "LognormalSpeed"]
+
+
+class SpeedModel:
+    """Base class: produce one speed factor per node."""
+
+    def sample(self, n_nodes: int, rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+
+class ConstantSpeed(SpeedModel):
+    """Perfectly homogeneous nodes (the idealised HPC assumption)."""
+
+    def __init__(self, factor: float = 1.0) -> None:
+        if factor <= 0:
+            raise ValueError("speed factor must be positive")
+        self.factor = factor
+
+    def sample(self, n_nodes: int, rng: np.random.Generator) -> np.ndarray:
+        return np.full(n_nodes, self.factor)
+
+
+class UniformSpeed(SpeedModel):
+    """Speed factors drawn uniformly from ``[low, high]``."""
+
+    def __init__(self, low: float = 0.7, high: float = 1.4) -> None:
+        if not 0 < low <= high:
+            raise ValueError(f"need 0 < low <= high, got [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def sample(self, n_nodes: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=n_nodes)
+
+
+class LognormalSpeed(SpeedModel):
+    """Lognormal speed factors (median 1.0), clipped to ``[low, high]``.
+
+    A lognormal captures the long-ish tail of background interference on
+    shared HPC nodes; sigma ≈ 0.18 gives roughly the 2× spread the paper
+    measured between the head and tail of the distribution.
+    """
+
+    def __init__(self, sigma: float = 0.18, low: float = 0.6,
+                 high: float = 1.6) -> None:
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        if not 0 < low <= high:
+            raise ValueError(f"need 0 < low <= high, got [{low}, {high}]")
+        self.sigma = sigma
+        self.low = low
+        self.high = high
+
+    def sample(self, n_nodes: int, rng: np.random.Generator) -> np.ndarray:
+        factors = rng.lognormal(mean=0.0, sigma=self.sigma, size=n_nodes)
+        return np.clip(factors, self.low, self.high)

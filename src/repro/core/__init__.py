@@ -1,0 +1,32 @@
+"""The paper's subject system: a memory-resident MapReduce engine.
+
+Two execution backends share one job model:
+
+* :class:`~repro.core.local.LocalContext` — really executes RDD programs
+  (map/filter/groupByKey/...) on in-memory Python data, for validating
+  the programming model and running the example applications.
+* :class:`~repro.core.engine.SparkSim` — executes a
+  :class:`~repro.core.jobspec.JobSpec` on a simulated
+  :class:`~repro.cluster.Cluster`, reproducing the paper's scheduling,
+  shuffle, and storage behaviour, including the two optimizations:
+  :class:`~repro.core.elb.EnhancedLoadBalancer` and
+  :class:`~repro.core.cad.CongestionAwareDispatcher`.
+"""
+
+from repro.core.jobspec import JobSpec
+from repro.core.metrics import JobResult, PhaseMetrics, TaskRecord
+from repro.core.engine import EngineOptions, SparkSim, run_job
+from repro.core.rdd import RDD
+from repro.core.local import LocalContext
+
+__all__ = [
+    "EngineOptions",
+    "JobResult",
+    "JobSpec",
+    "LocalContext",
+    "PhaseMetrics",
+    "RDD",
+    "SparkSim",
+    "TaskRecord",
+    "run_job",
+]

@@ -1,0 +1,133 @@
+"""Congestion-Aware task Dispatching (CAD) — paper §VI-B.
+
+CAD is a feedback controller that mitigates SSD write interference during
+the intermediate-data storing phase.  Spark launches ShuffleMapTasks as
+fast as slots free up, oblivious to the device: once the SSD's clean
+blocks are depleted and garbage collection starts, piling more concurrent
+writers onto the device makes *aggregate* throughput collapse (Fig 8(d)).
+
+Mechanism (paper's constants):
+
+* watch the execution times of completed ShuffleMapTasks;
+* when the running average jumps by 2×, add 50 ms to a delay interval
+  inserted before each dispatch on a node;
+* when the average drops by half, remove 50 ms again.
+
+The delay gives outstanding device operations time to complete and lets
+small writes coalesce, trading launch latency for device efficiency —
+the paper measures a 41.2 % faster storing phase at 700 GB–1.5 TB.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+__all__ = ["CongestionAwareDispatcher"]
+
+
+class CongestionAwareDispatcher:
+    """Adaptive per-node dispatch throttle for storing-phase tasks."""
+
+    def __init__(self, step: float = 0.05, trigger_ratio: float = 2.0,
+                 relax_ratio: float = 0.5, window: int = 25,
+                 max_delay: float = 10.0,
+                 target_concurrency: int = 4,
+                 max_spacing: float = 0.25) -> None:
+        if step <= 0:
+            raise ValueError("step must be positive")
+        if trigger_ratio <= 1.0:
+            raise ValueError("trigger_ratio must exceed 1.0")
+        if not 0 < relax_ratio < 1.0:
+            raise ValueError("relax_ratio must be in (0, 1)")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if target_concurrency < 1:
+            raise ValueError("target_concurrency must be >= 1")
+        self.step = step
+        self.trigger_ratio = trigger_ratio
+        self.relax_ratio = relax_ratio
+        self.window = window
+        self.max_delay = max_delay
+        self.target_concurrency = target_concurrency
+        self.max_spacing = max_spacing
+        self.delay = 0.0
+        self._window_avg: Optional[float] = None
+        self._recent: Deque[float] = deque(maxlen=window)
+        #: Uncongested reference: the average of the first full window.
+        self._baseline: Optional[float] = None
+        #: Average at the moment of the last increase (the "high" the
+        #: relax rule compares against).
+        self._last_high: Optional[float] = None
+        self._next_allowed: Dict[int, float] = {}
+        self._in_flight: Dict[int, int] = {}
+        # Statistics.
+        self.increases = 0
+        self.decreases = 0
+
+    # -- dispatch gating ------------------------------------------------------
+    @property
+    def throttling(self) -> bool:
+        """True once the congestion signal has raised a nonzero delay."""
+        return self.delay > 0
+
+    def ready(self, node: int, now: float) -> bool:
+        """May ``node`` dispatch another storing task right now?
+
+        Two gates once congestion is detected: dispatches are spaced by
+        the accumulated delay interval (the paper's mechanism), and the
+        node's in-flight storing tasks are held at ``target_concurrency``
+        so outstanding device operations can complete — queue depths at
+        or below the device's efficient range stop the interference
+        feedback loop of Fig 8(d).
+        """
+        if now < self._next_allowed.get(node, 0.0):
+            return False
+        if self.throttling and \
+                self._in_flight.get(node, 0) >= self.target_concurrency:
+            return False
+        return True
+
+    def retry_at(self, node: int) -> float:
+        return self._next_allowed.get(node, 0.0)
+
+    def on_launch(self, node: int, now: float) -> None:
+        self._in_flight[node] = self._in_flight.get(node, 0) + 1
+        if self.delay > 0:
+            # The pacing component is bounded: the in-flight cap carries
+            # the heavy lifting, the interval just staggers launches so
+            # freed slots do not refill in one burst.
+            self._next_allowed[node] = now + min(self.delay,
+                                                 self.max_spacing)
+
+    # -- feedback -----------------------------------------------------------------
+    def on_complete(self, duration: float,
+                    node: Optional[int] = None) -> None:
+        """Feed one completed ShuffleMapTask's execution time.
+
+        While the running average sits above ``trigger_ratio`` × the
+        uncongested baseline, every completion adds another ``step`` to
+        the dispatch interval — the controller keeps backing off until
+        the congestion signal clears (or ``max_delay`` is hit).  When the
+        average falls to ``relax_ratio`` of the level that caused the
+        last increase, the interval is stepped back down.
+        """
+        if node is not None and self._in_flight.get(node, 0) > 0:
+            self._in_flight[node] -= 1
+        self._recent.append(duration)
+        if len(self._recent) < self.window:
+            return
+        avg = sum(self._recent) / len(self._recent)
+        self._window_avg = avg
+        if self._baseline is None:
+            self._baseline = avg
+            return
+        if avg >= self.trigger_ratio * self._baseline:
+            self.delay = min(self.max_delay, self.delay + self.step)
+            self._last_high = avg
+            self.increases += 1
+        elif (self.delay > 0 and self._last_high is not None
+              and avg <= self.relax_ratio * self._last_high):
+            self.delay = max(0.0, self.delay - self.step)
+            self._last_high = max(self._baseline, avg / self.relax_ratio)
+            self.decreases += 1

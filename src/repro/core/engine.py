@@ -1,0 +1,374 @@
+"""The simulated Spark engine: runs a JobSpec on a Cluster.
+
+Execution follows the paper's pipeline (Fig 3/4): per iteration a
+computation stage, then — if the job shuffles — a storing stage of
+ShuffleMapTasks pinned where the map outputs live, then a fetching stage
+of reducers pulling their partitions.  Stages are serialized, as Spark
+serializes stages within the DAG.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+import numpy as np
+
+from repro.config import SparkConf
+from repro.cluster.cluster import Cluster
+from repro.cluster.spec import ClusterSpec
+from repro.cluster.variability import SpeedModel
+from repro.core.cad import CongestionAwareDispatcher
+from repro.core.elb import EnhancedLoadBalancer
+from repro.core.jobspec import JobSpec
+from repro.core.metrics import JobResult, PhaseMetrics, TaskRecord
+from repro.core.policies import (DelayScheduling, LocalityFirstPolicy,
+                                 SchedulingPolicy)
+from repro.core.scheduler import StageRunner
+from repro.core.shuffle import FetchPlan, fetch_body
+from repro.core.speculation import SpeculativeExecution, TaskAttemptFailure
+from repro.core.task import SimTask
+from repro.sim.events import AllOf
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+__all__ = ["EngineOptions", "SparkSim", "run_job"]
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Scheduler and optimization switches for one run."""
+
+    conf: SparkConf = field(default_factory=SparkConf)
+    #: Use delay scheduling for the computation stage (Spark's default on
+    #: HDFS); False = launch immediately with locality preference.
+    delay_scheduling: bool = False
+    #: Enable the Enhanced Load Balancer (§VI-A).
+    elb: bool = False
+    elb_threshold: float = 0.25
+    #: Enable Congestion-Aware Dispatching for the storing stage (§VI-B).
+    cad: bool = False
+    cad_step: float = 0.05
+    cad_trigger: float = 2.0
+    cad_window: int = 25
+    #: LATE-style speculative execution (related-work baseline, §VIII).
+    speculation: bool = False
+    speculation_quantile: float = 0.75
+    speculation_multiplier: float = 1.5
+    #: Probability that any task attempt fails (executor lost, I/O
+    #: error); failed attempts are re-queued Spark-style.
+    task_failure_rate: float = 0.0
+    seed: int = 0
+
+    def with_(self, **kw) -> "EngineOptions":
+        return replace(self, **kw)
+
+
+class SparkSim:
+    """Drives one job through the simulated stack."""
+
+    def __init__(self, cluster: Cluster, spec: JobSpec,
+                 options: Optional[EngineOptions] = None) -> None:
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.spec = spec
+        self.options = options if options is not None else EngineOptions()
+        self.conf = self.options.conf
+        self.rng = cluster.rng
+        n = cluster.n_nodes
+        #: Live per-node intermediate bytes (updated as map tasks finish).
+        self.node_intermediate = np.zeros(n)
+        self.node_task_counts = np.zeros(n, dtype=int)
+        #: Per-node bytes actually materialised by the storing stage.
+        self.node_store_bytes = np.zeros(n)
+        self._blocks = None  # HDFS blocks when input_source == 'hdfs'
+        #: Where each partition was computed (and, for cached RDDs, where
+        #: it is memory-resident): partition index -> node id.
+        self._cache_locations: Dict[int, int] = {}
+        self._phases: Dict[str, PhaseMetrics] = {}
+        self._prepare_input()
+
+    # -- setup -------------------------------------------------------------------
+    def _prepare_input(self) -> None:
+        spec = self.spec
+        if spec.input_source == "hdfs":
+            file_id = ("input", spec.name, id(self))
+            self._blocks = self.cluster.hdfs.ingest(
+                file_id, spec.input_bytes,
+                rng=self.rng(f"hdfs-placement:{self.options.seed}"),
+                placement=spec.hdfs_placement,
+                block_size=spec.split_bytes)
+
+    def _policy(self) -> SchedulingPolicy:
+        base: SchedulingPolicy
+        if self.options.delay_scheduling:
+            base = DelayScheduling(wait=self.conf.locality_wait)
+        else:
+            base = LocalityFirstPolicy()
+        if self.options.elb:
+            base = EnhancedLoadBalancer(base, self.node_intermediate,
+                                        threshold=self.options.elb_threshold)
+        return base
+
+    # -- main entry ----------------------------------------------------------------
+    def run(self) -> JobResult:
+        """Execute the job to completion and collect metrics."""
+        done = self.sim.process(self._job(), name=f"job:{self.spec.name}")
+        self.sim.run(until=done)
+        job_time = self.sim.now
+        return JobResult(job_name=self.spec.name, job_time=job_time,
+                         phases=self._phases,
+                         node_intermediate=self.node_intermediate.copy(),
+                         node_task_counts=self.node_task_counts.copy(),
+                         seed=self.options.seed)
+
+    def _job(self):
+        spec = self.spec
+        compute_records: List[TaskRecord] = []
+        compute_start = self.sim.now
+        for iteration in range(spec.iterations):
+            records = yield self._run_compute_stage(iteration)
+            compute_records.extend(records)
+        self._phases["compute"] = PhaseMetrics(
+            "compute", compute_start, self.sim.now, compute_records)
+
+        if spec.shuffle_store is not None and spec.intermediate_bytes > 0:
+            store_start = self.sim.now
+            records = yield self._run_store_stage()
+            self._phases["store"] = PhaseMetrics(
+                "store", store_start, self.sim.now, records)
+
+            if spec.fetch_mode == "lustre-shared":
+                self._split_lustre_shuffle_files()
+
+            fetch_start = self.sim.now
+            records = yield self._run_fetch_stage()
+            self._phases["fetch"] = PhaseMetrics(
+                "fetch", fetch_start, self.sim.now, records)
+        return None
+
+    # -- computation stage -----------------------------------------------------
+    def _run_compute_stage(self, iteration: int):
+        spec = self.spec
+        noise = self._noise_factors(f"compute-noise-{iteration}",
+                                    spec.n_map_tasks,
+                                    spec.compute_noise_sigma)
+        cached = iteration > 0 and spec.cache_input
+        tasks = []
+        for i in range(spec.n_map_tasks):
+            size = self._split_size(i)
+            preferred = ()
+            if cached:
+                # The partition is memory-resident where it was computed
+                # (PROCESS_LOCAL in Spark terms): later iterations of an
+                # iterative job are immune to input-locality pressure.
+                loc = self._cache_locations.get(i)
+                preferred = (loc,) if loc is not None else ()
+            elif spec.input_source == "hdfs":
+                preferred = tuple(self._blocks[i].locations)
+            body = self._with_failures(
+                self._compute_body(i, size, noise[i], iteration),
+                f"compute-{iteration}")
+            tasks.append(SimTask(task_id=i, phase="compute", body=body,
+                                 preferred=preferred, nbytes=size))
+
+        first_iteration = iteration == 0
+
+        def on_complete(task: SimTask, node: int, rec: TaskRecord) -> None:
+            if first_iteration:
+                self.node_intermediate[node] += \
+                    task.bytes * spec.intermediate_ratio
+                self.node_task_counts[node] += 1
+                self._cache_locations[task.task_id] = node
+
+        runner = StageRunner(self.sim, self.cluster.n_nodes,
+                             self.cluster.spec.node.cores, tasks,
+                             policy=self._policy(),
+                             speculation=self._speculation(),
+                             task_overhead=self.conf.task_overhead,
+                             on_complete=on_complete)
+        return runner.run()
+
+    def _split_size(self, i: int) -> float:
+        spec = self.spec
+        if spec.input_source == "hdfs":
+            return self._blocks[i].size
+        full = spec.split_bytes
+        last = spec.input_bytes - full * (spec.n_map_tasks - 1)
+        return full if i < spec.n_map_tasks - 1 else last
+
+    def _compute_body(self, i: int, size: float, noise: float,
+                      iteration: int):
+        spec = self.spec
+        cluster = self.cluster
+
+        def factory(node: int):
+            return body(node)
+
+        def body(node: int):
+            node_obj = cluster.nodes[node]
+            nominal = size / spec.map_compute_rate * noise
+            compute_ev = node_obj.compute(nominal)
+            # A cached partition is free to read only on the node holding
+            # it; anywhere else the input must be re-fetched (cache miss).
+            cached = (iteration > 0 and spec.cache_input
+                      and self._cache_locations.get(i) == node)
+            read_ev = None
+            if not cached:
+                if spec.input_source == "hdfs":
+                    read_ev = cluster.hdfs.read_block(node, self._blocks[i])
+                elif spec.input_source == "lustre":
+                    read_ev = cluster.lustre.read(
+                        node, size, ("input", spec.name, i))
+            if read_ev is not None:
+                # Spark pipelines computation with data input (§V-A):
+                # the task finishes when both streams complete.
+                yield AllOf(self.sim, [read_ev, compute_ev])
+            else:
+                yield compute_ev
+
+        return factory
+
+    # -- storing stage ------------------------------------------------------------
+    def _run_store_stage(self):
+        spec = self.spec
+        n = self.cluster.n_nodes
+        # One ShuffleMapTask per map output, pinned to the node holding it.
+        outputs = []
+        for node in range(n):
+            count = int(self.node_task_counts[node])
+            if count == 0:
+                continue
+            per = self.node_intermediate[node] / count
+            outputs.extend((node, per) for _ in range(count))
+        noise = self._noise_factors("store-noise", len(outputs),
+                                    spec.store_noise_sigma)
+        tasks = [SimTask(task_id=k, phase="store",
+                         body=self._with_failures(
+                             self._store_body(node, nbytes, noise[k]),
+                             "store"),
+                         pinned=node, nbytes=nbytes)
+                 for k, (node, nbytes) in enumerate(outputs)]
+
+        def on_complete(task: SimTask, node: int, rec: TaskRecord) -> None:
+            self.node_store_bytes[node] += task.bytes
+
+        throttler = None
+        if self.options.cad:
+            throttler = CongestionAwareDispatcher(
+                step=self.options.cad_step,
+                trigger_ratio=self.options.cad_trigger,
+                window=self.options.cad_window)
+            self.cad_controller = throttler
+        runner = StageRunner(self.sim, n, self.cluster.spec.node.cores,
+                             tasks, policy=LocalityFirstPolicy(),
+                             throttler=throttler,
+                             task_overhead=self.conf.task_overhead,
+                             on_complete=on_complete)
+        return runner.run()
+
+    def _store_body(self, node: int, nbytes: float, noise: float):
+        spec = self.spec
+        cluster = self.cluster
+
+        def factory(assigned: int):
+            return body(assigned)
+
+        def body(assigned: int):
+            start = self.sim.now
+            file_id = ("shuffle", node)
+            if spec.shuffle_store == "lustre":
+                yield cluster.lustre.write(node, nbytes, file_id)
+            else:
+                vol = cluster.nodes[node].volume(spec.shuffle_store)
+                yield vol.write(nbytes, file_id)
+            if noise > 1.0:
+                # Service-time straggle (partitioning, small-write skew)
+                # without perturbing byte accounting.
+                yield self.sim.timeout((self.sim.now - start) * (noise - 1.0))
+
+        return factory
+
+    def _split_lustre_shuffle_files(self) -> None:
+        n_reducers = self.spec.reducers(self.cluster.total_cores)
+        for node in range(self.cluster.n_nodes):
+            if self.node_store_bytes[node] <= 0:
+                continue
+            parts = [("shuffle", node, r) for r in range(n_reducers)]
+            self.cluster.lustre.split_file(("shuffle", node), parts)
+
+    # -- fetching stage ------------------------------------------------------------
+    def _run_fetch_stage(self):
+        spec = self.spec
+        n_reducers = spec.reducers(self.cluster.total_cores)
+        noise = self._noise_factors("fetch-noise", n_reducers,
+                                    spec.compute_noise_sigma)
+        plan = FetchPlan(cluster=self.cluster, spec=spec, conf=self.conf,
+                         node_store_bytes=self.node_store_bytes,
+                         n_reducers=n_reducers)
+        total_per_reducer = float(self.node_store_bytes.sum()) / n_reducers
+        tasks = [SimTask(task_id=r, phase="fetch",
+                         body=self._with_failures(
+                             fetch_body(plan, r, noise[r]), "fetch"),
+                         nbytes=total_per_reducer)
+                 for r in range(n_reducers)]
+        runner = StageRunner(self.sim, self.cluster.n_nodes,
+                             self.cluster.spec.node.cores, tasks,
+                             policy=LocalityFirstPolicy(),
+                             speculation=self._speculation(),
+                             task_overhead=self.conf.task_overhead)
+        return runner.run()
+
+    # -- helpers ----------------------------------------------------------------------
+    def _speculation(self) -> Optional[SpeculativeExecution]:
+        if not self.options.speculation:
+            return None
+        return SpeculativeExecution(
+            quantile=self.options.speculation_quantile,
+            multiplier=self.options.speculation_multiplier)
+
+    def _with_failures(self, body_factory, stream: str):
+        """Wrap a task body factory with attempt-failure injection."""
+        rate = self.options.task_failure_rate
+        if rate <= 0:
+            return body_factory
+        gen = self.rng(f"failures:{stream}:{self.options.seed}")
+
+        def factory(node: int):
+            if gen.random() < rate:
+                def failing():
+                    # The attempt dies early (executor lost at launch).
+                    yield self.sim.timeout(0.05)
+                    raise TaskAttemptFailure()
+                return failing()
+            return body_factory(node)
+
+        return factory
+
+    def _noise_factors(self, stream: str, count: int,
+                       sigma: float) -> np.ndarray:
+        if sigma <= 0 or count == 0:
+            return np.ones(max(count, 1))
+        gen = self.rng(f"{stream}:{self.options.seed}")
+        return gen.lognormal(mean=0.0, sigma=sigma, size=count)
+
+
+def run_job(spec: JobSpec,
+            cluster_spec: Optional[ClusterSpec] = None,
+            options: Optional[EngineOptions] = None,
+            speed_model: Optional[SpeedModel] = None,
+            cluster: Optional[Cluster] = None) -> JobResult:
+    """Convenience one-shot: build a fresh cluster, run the job.
+
+    A fresh cluster per run keeps device history (SSD wear, caches) from
+    leaking between experiments; pass ``cluster`` explicitly to model
+    consecutive jobs on a warm system.
+    """
+    options = options if options is not None else EngineOptions()
+    if cluster is None:
+        cluster = Cluster(cluster_spec, speed_model=speed_model,
+                          seed=options.seed)
+    engine = SparkSim(cluster, spec, options)
+    return engine.run()

@@ -1,0 +1,108 @@
+"""Simulation job descriptors.
+
+A :class:`JobSpec` captures everything the simulated engine needs to know
+about a MapReduce job: data volumes, per-byte computation intensity, the
+shuffle footprint, and where input / intermediate data live.  The three
+paper benchmarks (§III-B) are thin factories over this type — see
+:mod:`repro.workloads`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional
+
+GB = 1024.0 ** 3
+MB = 1024.0 ** 2
+
+__all__ = ["JobSpec"]
+
+INPUT_SOURCES = ("generated", "hdfs", "lustre")
+SHUFFLE_STORES = (None, "ramdisk", "ssd", "lustre")
+FETCH_MODES = ("network", "lustre-local", "lustre-shared")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A simulated MapReduce job.
+
+    The execution plan follows the paper's three-stage pipeline (Fig 4):
+    a computation stage producing key/value pairs in memory, a storing
+    stage (ShuffleMapTasks) materialising intermediate data, and a
+    fetching stage shuffling it to reducers.  Jobs without a shuffle
+    (``shuffle_store=None``) stop after the computation stage; iterative
+    jobs (``iterations > 1``) repeat the computation stage, optionally
+    reading input from memory after the first pass.
+    """
+
+    name: str = "job"
+    #: Total input bytes (== intermediate bytes for GroupBy-style jobs).
+    input_bytes: float = 10 * GB
+    #: Input split / HDFS block size; determines the map-task count.
+    split_bytes: float = 128 * MB
+    #: Nominal per-core map computation throughput, bytes/second.
+    map_compute_rate: float = 800 * MB
+    #: Nominal per-core reduce computation throughput, bytes/second.
+    reduce_compute_rate: float = 1.5 * GB
+    #: Intermediate data volume as a fraction of input (GroupBy: 1.0).
+    intermediate_ratio: float = 0.0
+    #: Where map tasks read input from.
+    input_source: str = "generated"
+    #: Where the storing phase materialises intermediate data.
+    shuffle_store: Optional[str] = None
+    #: How fetching tasks retrieve intermediate data.
+    fetch_mode: str = "network"
+    #: Reducer count; ``None`` → twice the cluster core count.
+    n_reducers: Optional[int] = None
+    #: Iterations of the computation stage (LR runs 3).
+    iterations: int = 1
+    #: Whether iterations beyond the first read input from memory (RDD
+    #: caching, the memory-resident feature of §II-C).
+    cache_input: bool = False
+    #: HDFS input block placement: "random" reflects a real ingest
+    #: (replica targets drawn per block); "roundrobin" is the idealised
+    #: perfectly balanced layout.
+    hdfs_placement: str = "random"
+    #: Multiplicative lognormal noise on per-task compute time.
+    compute_noise_sigma: float = 0.08
+    #: Extra lognormal noise on storing-task service (SSD placement etc.).
+    store_noise_sigma: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.input_bytes < 0:
+            raise ValueError("input_bytes must be non-negative")
+        if self.split_bytes <= 0:
+            raise ValueError("split_bytes must be positive")
+        if self.map_compute_rate <= 0 or self.reduce_compute_rate <= 0:
+            raise ValueError("compute rates must be positive")
+        if not 0 <= self.intermediate_ratio:
+            raise ValueError("intermediate_ratio must be non-negative")
+        if self.input_source not in INPUT_SOURCES:
+            raise ValueError(f"input_source must be one of {INPUT_SOURCES}")
+        if self.shuffle_store not in SHUFFLE_STORES:
+            raise ValueError(f"shuffle_store must be one of {SHUFFLE_STORES}")
+        if self.fetch_mode not in FETCH_MODES:
+            raise ValueError(f"fetch_mode must be one of {FETCH_MODES}")
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if self.fetch_mode.startswith("lustre") and \
+                self.shuffle_store not in (None, "lustre"):
+            raise ValueError(
+                "lustre fetch modes require shuffle_store='lustre'")
+
+    @property
+    def n_map_tasks(self) -> int:
+        return max(1, int(math.ceil(self.input_bytes / self.split_bytes)))
+
+    @property
+    def intermediate_bytes(self) -> float:
+        return self.input_bytes * self.intermediate_ratio
+
+    def reducers(self, total_cores: int) -> int:
+        if self.n_reducers is not None:
+            return self.n_reducers
+        return max(1, total_cores)
+
+    def with_(self, **kw) -> "JobSpec":
+        return replace(self, **kw)

@@ -1,0 +1,111 @@
+"""Job metrics: per-task traces, phase dissection, distributions.
+
+The paper's evaluation rests on three kinds of measurement, all captured
+here: job execution time, per-phase dissection (computation / storing /
+shuffling — Figs 7(b), 8(b), 13, 14(b)), and per-task traces (Figs 8(c),
+8(d), 10, 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["TaskRecord", "PhaseMetrics", "JobResult"]
+
+
+@dataclass
+class TaskRecord:
+    """One executed task."""
+
+    task_id: int
+    phase: str               # "compute" | "store" | "fetch"
+    node: int
+    queued_at: float
+    started_at: float
+    finished_at: float
+    bytes: float = 0.0
+    #: Whether the task's input was node-local (compute phase only).
+    local: Optional[bool] = None
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def wait(self) -> float:
+        return self.started_at - self.queued_at
+
+
+@dataclass
+class PhaseMetrics:
+    """Aggregate view of one execution phase."""
+
+    name: str
+    start: float
+    end: float
+    tasks: List[TaskRecord] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def durations(self) -> np.ndarray:
+        return np.array([t.duration for t in self.tasks])
+
+    def by_launch_order(self) -> List[TaskRecord]:
+        return sorted(self.tasks, key=lambda t: t.started_at)
+
+    def min_max_spread(self) -> float:
+        """Slowest-to-fastest task duration ratio (Fig 8(c))."""
+        d = self.durations()
+        if len(d) == 0 or d.min() <= 0:
+            return float("nan")
+        return float(d.max() / d.min())
+
+
+@dataclass
+class JobResult:
+    """Everything measured from one simulated job execution."""
+
+    job_name: str
+    job_time: float
+    phases: Dict[str, PhaseMetrics]
+    #: Intermediate bytes resident on each node after the compute stage.
+    node_intermediate: np.ndarray
+    #: Tasks executed by each node in the compute stage.
+    node_task_counts: np.ndarray
+    seed: int = 0
+
+    def phase_time(self, name: str) -> float:
+        """Duration of a phase; 0.0 if the job did not run it."""
+        ph = self.phases.get(name)
+        return ph.duration if ph is not None else 0.0
+
+    @property
+    def compute_time(self) -> float:
+        return self.phase_time("compute")
+
+    @property
+    def store_time(self) -> float:
+        return self.phase_time("store")
+
+    @property
+    def fetch_time(self) -> float:
+        return self.phase_time("fetch")
+
+    def all_tasks(self) -> List[TaskRecord]:
+        return [t for ph in self.phases.values() for t in ph.tasks]
+
+    def dissection(self) -> Dict[str, float]:
+        """Phase-duration breakdown (the paper's 'dissection' plots)."""
+        return {name: ph.duration for name, ph in self.phases.items()}
+
+    def summary(self) -> str:
+        parts = [f"{self.job_name}: {self.job_time:.2f}s total"]
+        for name, ph in self.phases.items():
+            parts.append(f"  {name:8s} {ph.duration:8.2f}s "
+                         f"({len(ph.tasks)} tasks)")
+        return "\n".join(parts)

@@ -1,0 +1,301 @@
+"""The stage runner: offer-based task scheduling over simulated nodes.
+
+One :class:`StageRunner` executes one stage (a set of tasks) to
+completion.  Slots (one per core) are offered to the policy whenever they
+free; the policy picks a task or declines (delay scheduling / ELB veto),
+in which case the runner re-offers when the policy's retry time arrives
+or when cluster state changes.  Offers sweep free nodes round-robin, one
+task per node per pass, so initial assignment is even — the behaviour
+ELB's description assumes.
+
+Fault tolerance follows Spark semantics: a failed task attempt is
+re-queued (up to ``max_attempt_failures`` times); with speculation
+enabled, straggling attempts get one backup copy and the first finisher
+wins while the loser is interrupted.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, \
+    Set, Tuple
+
+from repro.sim.events import Event, Interrupt
+from repro.core.cad import CongestionAwareDispatcher
+from repro.core.metrics import TaskRecord
+from repro.core.policies import SchedulingPolicy
+from repro.core.speculation import SpeculativeExecution, TaskAttemptFailure
+from repro.core.task import SimTask, TaskQueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+__all__ = ["StageRunner", "StageFailed"]
+
+
+class StageFailed(Exception):
+    """A task exhausted its attempt budget."""
+
+
+class StageRunner:
+    """Runs one stage's tasks across the cluster under a policy."""
+
+    def __init__(self, sim: "Simulator", n_nodes: int, cores_per_node: int,
+                 tasks: Sequence[SimTask], policy: SchedulingPolicy,
+                 throttler: Optional[CongestionAwareDispatcher] = None,
+                 speculation: Optional[SpeculativeExecution] = None,
+                 task_overhead: float = 0.0,
+                 max_attempt_failures: int = 3,
+                 on_complete: Optional[Callable[[SimTask, int, TaskRecord],
+                                                None]] = None) -> None:
+        self.sim = sim
+        self.n_nodes = n_nodes
+        self.policy = policy
+        self.throttler = throttler
+        self.speculation = speculation
+        if speculation is not None:
+            speculation.total_tasks = len(tasks)
+        self.task_overhead = task_overhead
+        self.max_attempt_failures = max_attempt_failures
+        self.on_complete = on_complete
+        self.queue = TaskQueue(tasks)
+        for t in tasks:
+            t.queued_at = sim.now
+        self.free_slots = [cores_per_node] * n_nodes
+        self.records: List[TaskRecord] = []
+        self._remaining = len(tasks)
+        self._finished: Set[int] = set()
+        self._failures: Dict[int, int] = {}
+        #: task_id -> list of (node, started_at, attempt process)
+        self._attempts: Dict[int, List[Tuple[int, float, object]]] = {}
+        self.done = Event(sim, name="stage-done")
+        self._retry_token = 0
+        if self._remaining == 0:
+            self.done.succeed(self.records)
+
+    # -- public -----------------------------------------------------------------
+    def run(self) -> Event:
+        """Start offering; returns the stage-completion event."""
+        if self._remaining > 0:
+            self._offer()
+        return self.done
+
+    # -- offer loop -------------------------------------------------------------
+    def _offer(self) -> None:
+        """Sweep free nodes, one launch per node per pass, until no
+        assignment is possible; then arm a retry timer if needed."""
+        if self.done.triggered:
+            return
+        now = self.sim.now
+        while len(self.queue) > 0:
+            free = [n for n in range(self.n_nodes) if self.free_slots[n] > 0]
+            if not free:
+                return
+            order = self.policy.node_order(free)
+            launched_any = False
+            throttle_retry: Optional[float] = None
+            for node in order:
+                if self.free_slots[node] <= 0 or len(self.queue) == 0:
+                    continue
+                if self.throttler is not None and \
+                        not self.throttler.ready(node, now):
+                    t = self.throttler.retry_at(node)
+                    if t > now:
+                        throttle_retry = t if throttle_retry is None \
+                            else min(throttle_retry, t)
+                    # else: blocked on concurrency; the next completion
+                    # re-offers.
+                    continue
+                task = self.policy.select(node, self.queue, now)
+                if task is None:
+                    continue
+                self._launch(task, node)
+                launched_any = True
+            if not launched_any:
+                retry = self.policy.next_retry(self.queue, now)
+                if throttle_retry is not None:
+                    retry = throttle_retry if retry is None \
+                        else min(retry, throttle_retry)
+                if retry is not None and retry > now:
+                    self._arm_retry(retry)
+                break
+        self._maybe_speculate()
+
+    def _arm_retry(self, when: float) -> None:
+        self._retry_token += 1
+        token = self._retry_token
+        self.sim.schedule_callback(max(0.0, when - self.sim.now),
+                                   self._on_retry, token)
+
+    def _on_retry(self, token: int) -> None:
+        if token == self._retry_token:
+            self._offer()
+
+    # -- speculation -------------------------------------------------------------
+    def _maybe_speculate(self) -> None:
+        spec = self.speculation
+        if spec is None or len(self.queue) > 0 or not spec.active():
+            return
+        now = self.sim.now
+        while True:
+            free = [n for n in range(self.n_nodes) if self.free_slots[n] > 0]
+            if not free:
+                break
+            straggler = self._pick_straggler(now)
+            if straggler is None:
+                break
+            task, _ = straggler
+            # LATE places the backup away from the straggling attempt's
+            # node — that node is the presumed cause of the slowness.
+            busy_node = self._attempts[task.task_id][0][0]
+            others = [n for n in free if n != busy_node]
+            node = others[0] if others else free[0]
+            spec.copies_launched += 1
+            self._launch(task, node)
+        self._arm_speculation_check()
+
+    def _arm_speculation_check(self) -> None:
+        """Re-check when the earliest running attempt would cross the
+        straggler threshold (completions alone won't wake us up)."""
+        spec = self.speculation
+        threshold = spec.threshold() if spec is not None else None
+        if threshold is None:
+            return
+        if not any(self.free_slots[n] > 0 for n in range(self.n_nodes)):
+            return
+        now = self.sim.now
+        horizon = None
+        for task_id, attempts in self._attempts.items():
+            if task_id in self._finished or len(attempts) != 1:
+                continue
+            if attempts[0][3].pinned is not None:
+                continue
+            crossing = attempts[0][1] + threshold
+            if crossing > now and (horizon is None or crossing < horizon):
+                horizon = crossing
+        if horizon is not None:
+            self._spec_token = getattr(self, "_spec_token", 0) + 1
+            token = self._spec_token
+            self.sim.schedule_callback(horizon - now + 1e-9,
+                                       self._on_spec_check, token)
+
+    def _on_spec_check(self, token: int) -> None:
+        if token == getattr(self, "_spec_token", 0) and \
+                not self.done.triggered:
+            self._maybe_speculate()
+
+    def _pick_straggler(self, now: float) -> Optional[Tuple[SimTask, float]]:
+        spec = self.speculation
+        assert spec is not None
+        best: Optional[Tuple[SimTask, float]] = None
+        for task_id, attempts in self._attempts.items():
+            if task_id in self._finished or len(attempts) != 1:
+                continue
+            task, started = attempts[0][3], attempts[0][1]
+            if task.pinned is not None:
+                continue  # a pinned task's data exists only on its node
+            elapsed = now - started
+            if spec.is_straggler(elapsed):
+                if best is None or elapsed > best[1]:
+                    best = (task, elapsed)
+        return best
+
+    # -- launching ----------------------------------------------------------------
+    def _launch(self, task: SimTask, node: int) -> None:
+        self.free_slots[node] -= 1
+        if self.throttler is not None:
+            self.throttler.on_launch(node, self.sim.now)
+        proc = self.sim.process(self._run_task(task, node),
+                                name=f"task:{task.phase}#{task.task_id}")
+        self._attempts.setdefault(task.task_id, []).append(
+            (node, self.sim.now, proc, task))
+
+    def _run_task(self, task: SimTask, node: int):
+        started = self.sim.now
+        interrupted = False
+        failed = False
+        try:
+            if self.task_overhead > 0:
+                yield self.sim.timeout(self.task_overhead)
+            inner = self.sim.process(task.body(node))
+            # Defuse: if this wrapper is interrupted (lost speculation
+            # race) the orphaned body may still fail later; that must not
+            # crash the simulation.
+            inner.defuse()
+            yield inner
+        except Interrupt:
+            interrupted = True
+        except TaskAttemptFailure:
+            failed = True
+        finally:
+            self.free_slots[node] += 1
+            self._forget_attempt(task.task_id, node, started)
+
+        if interrupted:
+            self._offer()
+            return
+        if failed:
+            self._handle_failure(task, node)
+            self._offer()
+            return
+        if task.task_id in self._finished:
+            # A speculative copy lost the race after its twin finished
+            # between our completion and the interrupt; drop the result.
+            self._offer()
+            return
+
+        finished = self.sim.now
+        self._finished.add(task.task_id)
+        record = TaskRecord(task_id=task.task_id, phase=task.phase,
+                            node=node, queued_at=task.queued_at,
+                            started_at=started, finished_at=finished,
+                            bytes=task.bytes, local=task.local)
+        self.records.append(record)
+        duration = finished - started
+        self.policy.on_complete(task, node, duration)
+        if self.throttler is not None:
+            self.throttler.on_complete(duration, node)
+        if self.speculation is not None:
+            self.speculation.on_complete(duration)
+            if len(self._attempts.get(task.task_id, ())) > 0:
+                self.speculation.copies_won += 1
+            self._interrupt_copies(task.task_id)
+        if self.on_complete is not None:
+            self.on_complete(task, node, record)
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.done.succeed(self.records)
+        else:
+            self._offer()
+
+    def _forget_attempt(self, task_id: int, node: int,
+                        started: float) -> None:
+        attempts = self._attempts.get(task_id)
+        if not attempts:
+            return
+        attempts[:] = [a for a in attempts
+                       if not (a[0] == node and a[1] == started)]
+        if not attempts:
+            del self._attempts[task_id]
+
+    def _interrupt_copies(self, task_id: int) -> None:
+        for node, started, proc, task in self._attempts.get(task_id, []):
+            if proc.is_alive:
+                proc.interrupt("speculative twin finished")
+
+    def _handle_failure(self, task: SimTask, node: int) -> None:
+        count = self._failures.get(task.task_id, 0) + 1
+        self._failures[task.task_id] = count
+        if count > self.max_attempt_failures:
+            if not self.done.triggered:
+                self.done.fail(StageFailed(
+                    f"task {task.phase}#{task.task_id} failed "
+                    f"{count} times"))
+            return
+        # Re-queue for another attempt, Spark-style.
+        task.taken = False
+        task.queued_at = self.sim.now
+        self.queue.push(task)
+
+    @property
+    def attempt_failures(self) -> int:
+        return sum(self._failures.values())

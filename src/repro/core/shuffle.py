@@ -1,0 +1,137 @@
+"""The fetch (shuffle) stage: reducers pulling intermediate data.
+
+Three retrieval modes, matching the paper's configurations:
+
+* ``network`` — intermediate data lives on node-local storage (RAMDisk or
+  SSD); each reducer sends FetchRequests to the source nodes, which read
+  their shuffle files and stream them over the fabric.  Reads and network
+  transfer are pipelined (the slower of the two paces the fetch).
+* ``lustre-local`` (Fig 6, left) — shuffle files live on Lustre, but the
+  *writer* serves FetchRequests from its own client cache, avoiding lock
+  traffic; data still crosses the network.
+* ``lustre-shared`` (Fig 6, right) — fetchers read the shuffle files
+  directly from Lustre.  Every file's write lock must be revoked, forcing
+  the holder to flush dirty data to the OSSes before the read — the
+  cascading lock-contention pathology of §IV-B.
+
+Request framing: the per-flow rate is capped by the fetch request size
+(Table I's ``spark.reducer.maxMbInFlight``), and per-request overhead
+inflates the effective bytes on the wire — shrinking requests to 128 KB
+reproduces the paper's network-bottleneck scenario (Fig 13(b)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.net.request import request_rate_cap
+from repro.sim.events import AllOf
+from repro.sim.resources import Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+    from repro.config import SparkConf
+    from repro.core.jobspec import JobSpec
+
+__all__ = ["FetchPlan", "fetch_body"]
+
+
+@dataclass
+class FetchPlan:
+    """Everything a fetch task needs to locate its partition slices."""
+
+    cluster: "Cluster"
+    spec: "JobSpec"
+    conf: "SparkConf"
+    node_store_bytes: np.ndarray
+    n_reducers: int
+
+    def slice_bytes(self, src: int) -> float:
+        """Bytes of one reducer's partition on ``src`` (hash partitioning
+        spreads each node's output uniformly over reducers)."""
+        return float(self.node_store_bytes[src]) / self.n_reducers
+
+    def flow_cap(self) -> float:
+        return request_rate_cap(self.conf.fetch_request_bytes,
+                                self.cluster.fabric.nic_bw,
+                                self.conf.fetch_request_overhead)
+
+    def wire_inflation(self) -> float:
+        """Effective-bytes multiplier from per-request handling overhead."""
+        overhead_bytes = (self.conf.fetch_request_overhead
+                          * self.cluster.fabric.nic_bw)
+        return 1.0 + overhead_bytes / self.conf.fetch_request_bytes
+
+
+def fetch_body(plan: FetchPlan, reducer: int, noise: float):
+    """Build the task-body factory for one reducer."""
+
+    def factory(node: int):
+        return _run(plan, reducer, node, noise)
+
+    return factory
+
+
+def _run(plan: FetchPlan, reducer: int, node: int, noise: float):
+    sim = plan.cluster.sim
+    sem = Resource(sim, capacity=plan.conf.max_concurrent_fetches,
+                   name=f"fetch-sem:{reducer}")
+    total = 0.0
+    subtasks = []
+    n = plan.cluster.n_nodes
+    # Rotate source order per reducer so sources aren't hit in lockstep.
+    for k in range(n):
+        src = (node + 1 + k + reducer) % n
+        nbytes = plan.slice_bytes(src)
+        if nbytes <= 0:
+            continue
+        total += nbytes
+        subtasks.append(sim.process(
+            _fetch_one(plan, src, node, reducer, nbytes, sem),
+            name=f"fetch:{reducer}<-{src}"))
+    if subtasks:
+        yield AllOf(sim, subtasks)
+    if total > 0:
+        # Reduce-side computation (grouping / aggregation).
+        nominal = total / plan.spec.reduce_compute_rate * noise
+        yield plan.cluster.nodes[node].compute(nominal)
+
+
+def _fetch_one(plan: FetchPlan, src: int, dst: int, reducer: int,
+               nbytes: float, sem: Resource):
+    cluster = plan.cluster
+    spec = plan.spec
+    with sem.request() as req:
+        yield req
+        mode = spec.fetch_mode
+        bundle = ("shuffle", src)
+        bundle_total = float(plan.node_store_bytes[src])
+        if mode == "network":
+            read_ev = cluster.nodes[src].volume(spec.shuffle_store).read(
+                nbytes, bundle, of_total=bundle_total)
+            if src == dst:
+                yield read_ev
+            else:
+                net_ev = cluster.fabric.transfer(
+                    src, dst, nbytes * plan.wire_inflation(),
+                    cap=plan.flow_cap(), tag=("fetch", reducer, src))
+                yield AllOf(cluster.sim, [read_ev, net_ev])
+        elif mode == "lustre-local":
+            read_ev = cluster.lustre.read_local(src, nbytes, bundle,
+                                                of_total=bundle_total)
+            if src == dst:
+                yield read_ev
+            else:
+                net_ev = cluster.fabric.transfer(
+                    src, dst, nbytes * plan.wire_inflation(),
+                    cap=plan.flow_cap(), tag=("fetch", reducer, src))
+                yield AllOf(cluster.sim, [read_ev, net_ev])
+        elif mode == "lustre-shared":
+            # Direct Lustre read: MDS op + lock revocation + OSS traffic.
+            yield cluster.lustre.read(dst, nbytes,
+                                      ("shuffle", src, reducer))
+        else:  # pragma: no cover - JobSpec validates
+            raise ValueError(f"unknown fetch mode {mode!r}")

@@ -1,0 +1,66 @@
+"""Speculative execution — the straggler-mitigation baseline.
+
+The paper's related work (§VIII) positions ELB against speculative
+re-execution schemes (LATE, Mantri, task cloning), noting that none of
+them addresses the *imbalanced intermediate data* problem.  To make that
+comparison runnable, this module implements the classic LATE-style
+speculation rule used by Spark/Hadoop:
+
+* wait until a quantile of the stage has finished (progress gate);
+* consider a running task a straggler once its elapsed time exceeds
+  ``multiplier`` × the median completed duration;
+* launch one backup copy on a free slot; first copy to finish wins, the
+  loser is killed.
+
+Speculation treats the *symptom* (slow tasks); ELB removes the *cause*
+(data skew).  ``benchmarks/test_ablations.py`` compares them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+__all__ = ["SpeculativeExecution", "TaskAttemptFailure"]
+
+
+class TaskAttemptFailure(Exception):
+    """An injected task-attempt failure (executor lost, I/O error)."""
+
+
+class SpeculativeExecution:
+    """LATE-style straggler detection."""
+
+    def __init__(self, quantile: float = 0.75,
+                 multiplier: float = 1.5) -> None:
+        if not 0 < quantile <= 1:
+            raise ValueError("quantile must be in (0, 1]")
+        if multiplier <= 1.0:
+            raise ValueError("multiplier must exceed 1.0")
+        self.quantile = quantile
+        self.multiplier = multiplier
+        self._durations: List[float] = []
+        self.total_tasks = 0
+        # Statistics.
+        self.copies_launched = 0
+        self.copies_won = 0
+
+    def on_complete(self, duration: float) -> None:
+        self._durations.append(duration)
+
+    def active(self) -> bool:
+        """Progress gate: speculate only near the end of the stage."""
+        if self.total_tasks == 0:
+            return False
+        return len(self._durations) >= self.quantile * self.total_tasks
+
+    def threshold(self) -> Optional[float]:
+        """Elapsed time beyond which a running task is a straggler."""
+        if not self.active() or not self._durations:
+            return None
+        ordered = sorted(self._durations)
+        median = ordered[len(ordered) // 2]
+        return self.multiplier * median
+
+    def is_straggler(self, elapsed: float) -> bool:
+        threshold = self.threshold()
+        return threshold is not None and elapsed > threshold

@@ -1,0 +1,104 @@
+"""Task descriptors and the pending-task queue."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["SimTask", "TaskQueue"]
+
+
+class SimTask:
+    """One schedulable unit of work.
+
+    ``body`` is a factory: called with the assigned node id, it returns a
+    generator performing the task's I/O and compute in simulated time.
+    ``preferred`` nodes express soft locality (delay scheduling honours
+    them); ``pinned`` is a hard placement constraint (ShuffleMapTasks must
+    run where their map output lives).
+    """
+
+    __slots__ = ("task_id", "phase", "body", "preferred", "pinned",
+                 "bytes", "queued_at", "taken", "local")
+
+    def __init__(self, task_id: int, phase: str,
+                 body: Callable[[int], object],
+                 preferred: Tuple[int, ...] = (),
+                 pinned: Optional[int] = None,
+                 nbytes: float = 0.0) -> None:
+        self.task_id = task_id
+        self.phase = phase
+        self.body = body
+        self.preferred = tuple(preferred)
+        self.pinned = pinned
+        self.bytes = float(nbytes)
+        self.queued_at = 0.0
+        self.taken = False
+        self.local: Optional[bool] = None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        where = f" pin={self.pinned}" if self.pinned is not None else ""
+        return f"<SimTask {self.phase}#{self.task_id}{where}>"
+
+
+class TaskQueue:
+    """Pending tasks with O(1) amortised locality-aware pops.
+
+    Uses lazy deletion: a task taken through one index is flagged and
+    skipped when encountered through another.
+    """
+
+    def __init__(self, tasks: Iterable[SimTask]) -> None:
+        self._any: deque = deque()
+        self._pinned: Dict[int, deque] = {}
+        self._local: Dict[int, deque] = {}
+        self._n = 0
+        for t in tasks:
+            self.push(t)
+
+    def push(self, task: SimTask) -> None:
+        if task.pinned is not None:
+            self._pinned.setdefault(task.pinned, deque()).append(task)
+        else:
+            self._any.append(task)
+            for n in task.preferred:
+                self._local.setdefault(n, deque()).append(task)
+        self._n += 1
+
+    def __len__(self) -> int:
+        return self._n
+
+    def _takeq(self, q: Optional[deque]) -> Optional[SimTask]:
+        while q:
+            t = q.popleft()
+            if not t.taken:
+                t.taken = True
+                self._n -= 1
+                return t
+        return None
+
+    def _peekq(self, q: Optional[deque]) -> Optional[SimTask]:
+        while q:
+            if q[0].taken:
+                q.popleft()
+            else:
+                return q[0]
+        return None
+
+    def pop_pinned(self, node: int) -> Optional[SimTask]:
+        return self._takeq(self._pinned.get(node))
+
+    def pop_local(self, node: int) -> Optional[SimTask]:
+        return self._takeq(self._local.get(node))
+
+    def pop_any(self) -> Optional[SimTask]:
+        return self._takeq(self._any)
+
+    def peek_any(self) -> Optional[SimTask]:
+        return self._peekq(self._any)
+
+    def has_pinned(self, node: int) -> bool:
+        return self._peekq(self._pinned.get(node)) is not None
+
+    def has_local(self, node: int) -> bool:
+        return self._peekq(self._local.get(node)) is not None

@@ -1,0 +1,15 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every experiment exposes ``run(scale=..., seeds=...)`` returning a
+structured result with the same rows/series the paper reports, plus
+``main()`` for the CLI (``python -m repro.experiments <id>``).
+
+Paper-scale runs (100 nodes, up to 1.5 TB) are expensive in a pure-Python
+discrete-event simulation, so experiments default to a scaled cluster
+that preserves per-node ratios (data per node, Lustre share per node);
+see :class:`~repro.experiments.common.Scale`.
+"""
+
+from repro.experiments.common import Scale, SMALL, MEDIUM, FULL
+
+__all__ = ["Scale", "SMALL", "MEDIUM", "FULL"]

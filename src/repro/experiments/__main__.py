@@ -1,0 +1,66 @@
+"""CLI: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig07
+    python -m repro.experiments fig13 --scale medium --seeds 0 1 2
+    python -m repro.experiments all
+    python -m repro.experiments validate      # PASS/FAIL claims report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.common import FULL, MEDIUM, SMALL, Scale
+from repro.experiments.registry import EXPERIMENTS, get
+
+SCALES = {"small": SMALL, "medium": MEDIUM, "full": FULL}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate tables/figures from the IPDPS'14 paper")
+    parser.add_argument("experiment",
+                        help="experiment id (e.g. fig07), 'all', or 'list'")
+    parser.add_argument("--scale", choices=sorted(SCALES), default="small",
+                        help="cluster scale (default: small)")
+    parser.add_argument("--seeds", type=int, nargs="+", default=[0],
+                        help="seeds; the median is reported (paper: 5 runs)")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+
+    if args.experiment == "validate":
+        from repro.experiments.validate import render_report, validate
+        report = validate(scale=SCALES[args.scale],
+                          seeds=tuple(args.seeds))
+        print(render_report(report))
+        return 0 if all(r["pass"] for r in report) else 1
+
+    ids = sorted(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    scale = SCALES[args.scale]
+    for exp_id in ids:
+        run = get(exp_id)
+        kwargs = {}
+        # table1 and the task trace take reduced parameter sets.
+        if exp_id == "table1":
+            result = run()
+        elif exp_id == "fig08d":
+            result = run(scale=scale, seed=args.seeds[0])
+        else:
+            result = run(scale=scale, seeds=tuple(args.seeds))
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

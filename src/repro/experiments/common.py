@@ -1,0 +1,90 @@
+"""Shared experiment plumbing: scaling, repetition, result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.spec import ClusterSpec, hyperion
+
+GB = 1024.0 ** 3
+MB = 1024.0 ** 2
+TB = 1024.0 ** 4
+
+__all__ = ["Scale", "SMALL", "MEDIUM", "FULL", "ExperimentResult",
+           "median_result", "GB", "MB", "TB"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """How far to shrink the paper's testbed for one run.
+
+    ``n_nodes`` replaces Hyperion's 100 workers; every *data size* from
+    the paper is multiplied by ``n_nodes / 100`` so per-node volumes (and
+    hence cache/SSD/Lustre behaviour per node) match the original.
+    """
+
+    name: str
+    n_nodes: int
+
+    @property
+    def data_factor(self) -> float:
+        return self.n_nodes / 100.0
+
+    def bytes_of(self, paper_bytes: float) -> float:
+        """Scale a paper-quoted data size to this cluster."""
+        return paper_bytes * self.data_factor
+
+    def cluster(self) -> ClusterSpec:
+        return hyperion(self.n_nodes)
+
+
+SMALL = Scale("small", n_nodes=8)
+MEDIUM = Scale("medium", n_nodes=20)
+FULL = Scale("full", n_nodes=100)
+
+#: The paper reports that HDFS over the 32 GB RAMDisks "can only support
+#: a maximum of 1.2 TB intermediate data size" (§IV-B); experiments mark
+#: RAMDisk-backed data points beyond this as unavailable, exactly as the
+#: paper's HDFS curves end there.
+HDFS_RAMDISK_MAX_BYTES = 1.2 * TB
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of one regenerated table/figure."""
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def add(self, *row) -> None:
+        self.rows.append(list(row))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def column(self, header: str) -> List:
+        idx = self.headers.index(header)
+        return [r[idx] for r in self.rows]
+
+    def render(self) -> str:
+        from repro.analysis.tables import format_table
+        out = format_table(self.headers, self.rows,
+                           title=f"{self.experiment_id}: {self.title}")
+        if self.notes:
+            out += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return out
+
+
+def median_result(run_one: Callable[[int], float],
+                  seeds: Sequence[int]) -> float:
+    """Median over seeds — the paper reports the median of five runs."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    return float(np.median([run_one(s) for s in seeds]))

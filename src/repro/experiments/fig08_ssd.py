@@ -1,0 +1,132 @@
+"""Fig 8 — Leveraging SSDs for intermediate data.
+
+GroupBy with intermediate data on the node-local SSD (ext4, behind the
+OS page cache) versus the RAMDisk, sweeping the paper's 100 GB – 1.5 TB
+range.  Paper findings:
+
+* (a) SSD ≈ RAMDisk up to ~600 GB (page-cache absorption); RAMDisk wins
+  clearly beyond ~700 GB; the SSD supports larger datasets than the
+  RAMDisk can hold at all.
+* (b) Dissection on SSD: shuffling (network-bound) dominates ≤ 600 GB;
+  storing and shuffling contribute equally at 700–900 GB; both drop
+  sharply beyond 900 GB as SSD writes degrade (GC) — and reads become
+  SSD-bound.
+* (c) The spread between the fastest and slowest ShuffleMapTask grows to
+  ~18× at 1.5 TB.
+* (d) Task execution time vs launch order shows three eras: fast (write
+  buffer + clean blocks), degraded (GC activates), severe (deep queues
+  compound the interference).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.variability import LognormalSpeed
+from repro.core.engine import EngineOptions, run_job
+from repro.core.metrics import JobResult
+from repro.experiments.common import (GB, HDFS_RAMDISK_MAX_BYTES, TB,
+                                      Scale, SMALL, ExperimentResult)
+from repro.storage.device import DeviceFullError
+from repro.workloads import groupby_spec
+
+__all__ = ["run", "run_task_trace", "PAPER_TASK_SPREAD_1_5TB"]
+
+PAPER_TASK_SPREAD_1_5TB = 18.0
+
+PAPER_DATA_SIZES = (100 * GB, 300 * GB, 600 * GB, 800 * GB,
+                    1024 * GB, 1.5 * TB)
+
+
+def _run_one(store: str, data_bytes: float, scale: Scale,
+             seed: int, paper_bytes: Optional[float] = None
+             ) -> Optional[JobResult]:
+    if store == "ramdisk" and paper_bytes is not None and \
+            paper_bytes > HDFS_RAMDISK_MAX_BYTES:
+        return None  # the paper's RAMDisk curve ends at ~1.2 TB (§IV-B)
+    spec = groupby_spec(data_bytes, shuffle_store=store,
+                        n_reducers=scale.n_nodes * 16)
+    try:
+        return run_job(spec, cluster_spec=scale.cluster(),
+                       options=EngineOptions(seed=seed),
+                       speed_model=LognormalSpeed())
+    except DeviceFullError:
+        return None  # RAMDisk curve ends where capacity runs out
+
+
+def run(scale: Scale = SMALL, seeds: Sequence[int] = (0,),
+        data_sizes: Sequence[float] = PAPER_DATA_SIZES) -> ExperimentResult:
+    result = ExperimentResult(
+        "fig08", "GroupBy intermediate data on SSD vs RAMDisk",
+        headers=["data_GB(paper)", "ramdisk_s", "ssd_s", "ssd/ramdisk",
+                 "ssd_compute_s", "ssd_store_s", "ssd_fetch_s",
+                 "ssd_task_spread"])
+    for paper_bytes in data_sizes:
+        data = scale.bytes_of(paper_bytes)
+        ram = _median(_runs("ramdisk", data, scale, seeds, paper_bytes))
+        ssd = _median(_runs("ssd", data, scale, seeds, paper_bytes))
+        result.add(
+            paper_bytes / GB,
+            ram.job_time if ram else float("nan"),
+            ssd.job_time if ssd else float("nan"),
+            (ssd.job_time / ram.job_time) if ram and ssd else float("nan"),
+            ssd.compute_time if ssd else float("nan"),
+            ssd.store_time if ssd else float("nan"),
+            ssd.fetch_time if ssd else float("nan"),
+            ssd.phases["store"].min_max_spread() if ssd else float("nan"),
+        )
+    result.note("paper: SSD ~= RAMDisk <= 600 GB (page cache); RAMDisk "
+                "wins > 700 GB; storing collapses > 900 GB (SSD GC); "
+                f"task spread up to {PAPER_TASK_SPREAD_1_5TB}x at 1.5 TB")
+    result.note(f"scale={scale.name}; sizes are paper labels at "
+                f"{scale.data_factor:.2f}x volume")
+    return result
+
+
+def run_task_trace(scale: Scale = SMALL, seed: int = 0,
+                   paper_bytes: float = 1.5 * TB) -> ExperimentResult:
+    """Fig 8(d): ShuffleMapTask execution time by launch order."""
+    data = scale.bytes_of(paper_bytes)
+    res = _run_one("ssd", data, scale, seed)
+    result = ExperimentResult(
+        "fig08d", "ShuffleMapTask execution time by launch order (SSD)",
+        headers=["launch_index", "duration_s"])
+    if res is None:
+        result.note("SSD too small at this scale")
+        return result
+    ordered = res.phases["store"].by_launch_order()
+    for i, rec in enumerate(ordered):
+        result.add(i, rec.duration)
+    # Era summary: paper shows fast -> degraded -> severe.
+    d = np.array([r.duration for r in ordered])
+    third = max(1, len(d) // 3)
+    result.extra["era_means"] = [float(d[:third].mean()),
+                                 float(d[third:2 * third].mean()),
+                                 float(d[2 * third:].mean())]
+    result.note(f"era means (fast/degraded/severe): "
+                f"{result.extra['era_means']}")
+    return result
+
+
+def _runs(store: str, data: float, scale: Scale, seeds: Sequence[int],
+          paper_bytes: Optional[float] = None) -> List[Optional[JobResult]]:
+    return [_run_one(store, data, scale, s, paper_bytes) for s in seeds]
+
+
+def _median(outcomes: List[Optional[JobResult]]) -> Optional[JobResult]:
+    ok = [r for r in outcomes if r is not None]
+    if not ok:
+        return None
+    return sorted(ok, key=lambda r: r.job_time)[len(ok) // 2]
+
+
+def main() -> None:  # pragma: no cover
+    print(run().render())
+    print()
+    print(run_task_trace().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

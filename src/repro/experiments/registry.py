@@ -1,0 +1,45 @@
+"""Experiment registry: id → module, for the CLI and the bench harness."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.experiments import (
+    ablation_memory_resident,
+    fig05_input_location,
+    fig07_intermediate_lustre,
+    fig08_ssd,
+    fig09_delay_scheduling,
+    fig10_task_locality,
+    fig12_load_imbalance,
+    fig13_elb,
+    fig14_cad,
+    table1_config,
+)
+
+__all__ = ["EXPERIMENTS", "get"]
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "table1": table1_config.run,
+    "fig05": fig05_input_location.run,
+    "fig07": fig07_intermediate_lustre.run,
+    "fig08": fig08_ssd.run,
+    "fig08d": fig08_ssd.run_task_trace,
+    "fig09": fig09_delay_scheduling.run,
+    "fig10": fig10_task_locality.run,
+    "fig12": fig12_load_imbalance.run,
+    "fig13": fig13_elb.run,
+    "fig14": fig14_cad.run,
+    # Extras beyond the paper's figures:
+    "ablation-mem": ablation_memory_resident.run,
+}
+
+
+def get(experiment_id: str) -> Callable:
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None

@@ -1,0 +1,33 @@
+"""Table I — Key Spark configuration parameters.
+
+Regenerates the paper's tuning table from the live defaults of
+:class:`repro.config.SparkConf` and checks them against the published
+values.
+"""
+
+from __future__ import annotations
+
+from repro.config import TABLE_I, SparkConf
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        "table1", "Key Spark configuration parameters",
+        headers=["parameter", "paper", "ours", "match"])
+    ours = SparkConf().table_i()
+    for key, paper_value in TABLE_I.items():
+        our_value = ours.get(key, "<missing>")
+        result.add(key, paper_value, our_value,
+                   "yes" if our_value == paper_value else "NO")
+    return result
+
+
+def main() -> None:  # pragma: no cover
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,12 @@
+"""HDFS substrate: co-located DataNodes over node-local volumes.
+
+The data-centric configuration in the paper runs HDFS with each DataNode
+backed by the node's 32 GB RAMDisk.  The model tracks block placement in
+a NameNode map so the Spark scheduler can reason about task locality, and
+serves reads either from the local volume or across the fabric.
+"""
+
+from repro.hdfs.namenode import BlockInfo, NameNode
+from repro.hdfs.fs import HDFSFileSystem
+
+__all__ = ["BlockInfo", "HDFSFileSystem", "NameNode"]

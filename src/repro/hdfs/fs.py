@@ -1,0 +1,89 @@
+"""HDFS facade: block reads with locality, served by DataNode volumes."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Hashable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.events import Event
+from repro.hdfs.namenode import BlockInfo, NameNode
+from repro.storage.device import MB
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+    from repro.cluster.node import ComputeNode
+    from repro.net.fabric import Fabric
+
+__all__ = ["HDFSFileSystem"]
+
+
+class HDFSFileSystem:
+    """HDFS with DataNodes co-located on every compute node.
+
+    Each DataNode stores its blocks on one of the node's local volumes
+    (the paper uses the 32 GB RAMDisk).  Local reads go through the
+    volume; remote reads stream across the fabric, rate-capped by the
+    remote volume's read bandwidth (reads and transfers are pipelined).
+    """
+
+    def __init__(self, sim: "Simulator", nodes: Sequence["ComputeNode"],
+                 fabric: "Fabric", volume_name: str = "ramdisk",
+                 block_size: float = 128 * MB, replication: int = 1) -> None:
+        if not nodes:
+            raise ValueError("need at least one DataNode")
+        self.sim = sim
+        self.nodes = list(nodes)
+        self.fabric = fabric
+        self.volume_name = volume_name
+        self.namenode = NameNode(len(nodes), block_size, replication)
+        # Statistics.
+        self.local_reads = 0
+        self.remote_reads = 0
+        self.bytes_local = 0.0
+        self.bytes_remote = 0.0
+
+    # -- ingest ------------------------------------------------------------------
+    def ingest(self, file_id: Hashable, total_bytes: float,
+               rng: Optional[np.random.Generator] = None,
+               placement: str = "roundrobin",
+               account_space: bool = False,
+               block_size: Optional[float] = None) -> List[BlockInfo]:
+        """Register a pre-loaded input file (no simulated write cost).
+
+        ``account_space=True`` additionally debits DataNode volume
+        capacity, enforcing the RAMDisk size limit the paper ran into.
+        """
+        blocks = self.namenode.create_file(file_id, total_bytes, rng=rng,
+                                           placement=placement,
+                                           block_size=block_size)
+        if account_space:
+            for b in blocks:
+                for loc in b.locations:
+                    self.nodes[loc].volume(self.volume_name).device.allocate(
+                        b.size)
+        return blocks
+
+    def blocks_of(self, file_id: Hashable) -> List[BlockInfo]:
+        return self.namenode.blocks_of(file_id)
+
+    # -- reads -------------------------------------------------------------------
+    def read_block(self, reader_node: int, block: BlockInfo) -> Event:
+        """Read one block at ``reader_node``, local replica preferred."""
+        if not 0 <= reader_node < len(self.nodes):
+            raise ValueError(f"node {reader_node} outside cluster")
+        if reader_node in block.locations:
+            self.local_reads += 1
+            self.bytes_local += block.size
+            vol = self.nodes[reader_node].volume(self.volume_name)
+            return vol.read(block.size, block.block_id)
+        # Remote: stream from the first replica, capped by its disk rate.
+        self.remote_reads += 1
+        self.bytes_remote += block.size
+        src = block.locations[0]
+        disk_bw = self.nodes[src].volume(self.volume_name).device.peak_read_bw
+        return self.fabric.transfer(src, reader_node, block.size,
+                                    cap=disk_bw, tag=block.block_id)
+
+    def is_local(self, node_id: int, block: BlockInfo) -> bool:
+        return node_id in block.locations

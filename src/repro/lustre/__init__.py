@@ -1,0 +1,20 @@
+"""Lustre parallel-filesystem substrate.
+
+Models the pieces of Lustre that the paper shows to matter for
+memory-resident MapReduce (§II-A, §IV-B):
+
+* a metadata server (MDS) that every open/create/stat passes through;
+* an aggregate pool of object storage servers (OSSes) delivering
+  47 GB/s across the whole Hyperion cluster;
+* the Distributed Lock Manager (LDLM): a client that wrote a file holds
+  its write lock and caches dirty data locally; a *different* client
+  reading that file forces a lock revocation, which forces the holder to
+  flush the dirty extent to the OSSes before the read can proceed — the
+  causal chain behind the Lustre-shared shuffle collapse in Fig 7.
+"""
+
+from repro.lustre.oss import OSSPool
+from repro.lustre.client import LustreClient
+from repro.lustre.fs import LustreFileSystem
+
+__all__ = ["LustreClient", "LustreFileSystem", "OSSPool"]

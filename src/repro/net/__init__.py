@@ -1,0 +1,14 @@
+"""Interconnect substrate: a flow-level InfiniBand-like fabric.
+
+* :class:`~repro.net.fabric.Fabric` — flow-level network with per-NIC
+  (full-duplex) capacities, an optional core/bisection constraint and
+  global max–min fair sharing with per-flow rate caps.
+* :func:`~repro.net.request.request_rate_cap` — models the effect of the
+  fetch-request size (``spark.reducer.maxMbInFlight``): small requests
+  stall on per-request round trips, capping a flow's achievable rate.
+"""
+
+from repro.net.fabric import Fabric, NetFlow
+from repro.net.request import request_rate_cap
+
+__all__ = ["Fabric", "NetFlow", "request_rate_cap"]

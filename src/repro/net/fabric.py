@@ -1,0 +1,280 @@
+"""Flow-level network fabric with global max–min fairness.
+
+Every transfer is a fluid flow constrained by three capacities: the
+sender's NIC transmit channel, the receiver's NIC receive channel (the
+fabric is full duplex, as InfiniBand is), and an optional core/bisection
+limit.  Rates are assigned by progressive filling (the classic max–min
+algorithm): all unfixed flows grow together; whenever a constraint
+saturates — or a flow reaches its own rate cap — the affected flows are
+frozen and filling continues with the rest.
+
+This is the standard fidelity level for datacenter-scale simulation:
+packets are abstracted away, but contention, fair sharing, stragglers and
+incast behaviour are preserved.  The allocator is fully vectorised with
+NumPy — shuffles put thousands of concurrent flows on the fabric, and a
+rate recomputation happens at every flow arrival and departure (see the
+profiling guidance in the repository's HPC coding guides: vectorise the
+measured hotspot, nothing else).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+__all__ = ["Fabric", "NetFlow"]
+
+GB = 1024.0 ** 3
+_EPS = 1e-9
+
+
+class NetFlow:
+    """One transfer in flight through the fabric."""
+
+    __slots__ = ("src", "dst", "size", "remaining", "rate", "cap", "done",
+                 "started_at", "tag")
+
+    def __init__(self, src: int, dst: int, size: float, cap: float,
+                 done: Event, started_at: float, tag: Any) -> None:
+        self.src = src
+        self.dst = dst
+        self.size = float(size)
+        self.remaining = float(size)
+        self.rate = 0.0
+        self.cap = float(cap)
+        self.done = done
+        self.started_at = started_at
+        self.tag = tag
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<NetFlow {self.src}->{self.dst} "
+                f"{self.remaining:.0f}/{self.size:.0f}B @{self.rate:.0f}B/s>")
+
+
+class Fabric:
+    """An ``n_nodes`` fabric with per-NIC tx/rx capacities.
+
+    Parameters
+    ----------
+    nic_bw:
+        Per-direction NIC bandwidth in bytes/second (IB QDR ≈ 4 GB/s).
+    bisection_bw:
+        Optional aggregate core capacity; ``None`` means non-blocking.
+    latency:
+        One-way propagation + software latency added to every transfer.
+    """
+
+    def __init__(self, sim: "Simulator", n_nodes: int,
+                 nic_bw: float = 4.0 * GB,
+                 bisection_bw: Optional[float] = None,
+                 latency: float = 20e-6,
+                 small_flow_bytes: float = 64 * 1024.0) -> None:
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        if nic_bw <= 0:
+            raise ValueError("nic_bw must be positive")
+        self.sim = sim
+        self.n_nodes = n_nodes
+        self.nic_bw = float(nic_bw)
+        self.bisection_bw = bisection_bw
+        self.latency = float(latency)
+        #: Transfers at or below this size skip the fluid allocator and
+        #: complete after latency + line-rate serialisation: they carry
+        #: negligible load but would otherwise trigger a global rate
+        #: recomputation each (control messages, tiny shuffle slices).
+        self.small_flow_bytes = float(small_flow_bytes)
+        self._realloc_pending = False
+        self.flows: List[NetFlow] = []
+        # Vectorised flow state, parallel to ``self.flows``.
+        self._src = np.empty(0, dtype=np.int64)
+        self._dst = np.empty(0, dtype=np.int64)
+        self._caps = np.empty(0)
+        self._remaining = np.empty(0)
+        self._rates = np.empty(0)
+        self._last_advance = sim.now
+        self._timer_token = 0
+        self.bytes_completed = 0.0
+
+    # -- public API -----------------------------------------------------------
+    def transfer(self, src: int, dst: int, nbytes: float,
+                 cap: float = math.inf, tag: Any = None) -> Event:
+        """Move ``nbytes`` from node ``src`` to node ``dst``.
+
+        Returns an event succeeding with the :class:`NetFlow` when the
+        last byte (plus propagation latency) has arrived.  A loopback
+        transfer (``src == dst``) completes after latency only — intra-node
+        moves cost memory bandwidth, modelled elsewhere.
+        """
+        for n in (src, dst):
+            if not 0 <= n < self.n_nodes:
+                raise ValueError(f"node {n} outside fabric of {self.n_nodes}")
+        if nbytes < 0:
+            raise ValueError(f"negative transfer {nbytes}")
+        done = Event(self.sim, name=f"net:{src}->{dst}")
+        flow = NetFlow(src, dst, nbytes, cap, done, self.sim.now, tag)
+        if src == dst or nbytes <= self.small_flow_bytes:
+            wire = 0.0 if src == dst else nbytes / min(self.nic_bw, cap)
+            self.sim.schedule_callback(self.latency + wire,
+                                       self._finish_direct, flow)
+            return done
+        self._advance()
+        self.flows.append(flow)
+        self._src = np.append(self._src, flow.src)
+        self._dst = np.append(self._dst, flow.dst)
+        self._caps = np.append(self._caps, flow.cap)
+        self._remaining = np.append(self._remaining, flow.remaining)
+        self._rates = np.append(self._rates, 0.0)
+        self._schedule_realloc()
+        return done
+
+    def _finish_direct(self, flow: NetFlow) -> None:
+        flow.remaining = 0.0
+        self.bytes_completed += flow.size
+        flow.done.succeed(flow)
+
+    @property
+    def n_active(self) -> int:
+        return len(self.flows)
+
+    def utilization(self, node: int) -> Dict[str, float]:
+        """Current tx/rx byte rates at ``node``."""
+        if len(self.flows) == 0:
+            return {"tx": 0.0, "rx": 0.0}
+        tx = float(self._rates[self._src == node].sum())
+        rx = float(self._rates[self._dst == node].sum())
+        return {"tx": tx, "rx": rx}
+
+    # -- fluid machinery -------------------------------------------------------
+    def _advance(self) -> None:
+        now = self.sim.now
+        dt = now - self._last_advance
+        self._last_advance = now
+        if dt <= 0 or not self.flows:
+            return
+        self._remaining -= self._rates * dt
+        finished_mask = self._remaining <= 1e-6
+        if not finished_mask.any():
+            return
+        keep = ~finished_mask
+        survivors: List[NetFlow] = []
+        for i, f in enumerate(self.flows):
+            if finished_mask[i]:
+                f.remaining = 0.0
+                self.bytes_completed += f.size
+                # Tail latency: the last byte still needs to propagate.
+                self.sim.schedule_callback(self.latency, f.done.succeed, f)
+            else:
+                survivors.append(f)
+        self.flows = survivors
+        self._src = self._src[keep]
+        self._dst = self._dst[keep]
+        self._caps = self._caps[keep]
+        self._remaining = self._remaining[keep]
+        self._rates = self._rates[keep]
+
+    def _schedule_realloc(self) -> None:
+        """Coalesce all same-timestamp flow changes into one allocation.
+
+        Shuffle fetch chains complete and immediately issue the next
+        request at the same simulated instant; recomputing rates once per
+        instant instead of once per change halves the allocator load.
+        """
+        if self._realloc_pending:
+            return
+        self._realloc_pending = True
+        self.sim.schedule_callback(0.0, self._do_realloc)
+
+    def _do_realloc(self) -> None:
+        self._realloc_pending = False
+        self._advance()   # collect completions from late same-time changes
+        self._reallocate()
+
+    def _reallocate(self) -> None:
+        self._assign_rates()
+        self._timer_token += 1
+        token = self._timer_token
+        if len(self.flows):
+            positive = self._rates > 0
+            if positive.any():
+                horizon = float(
+                    (self._remaining[positive] / self._rates[positive]).min())
+                # Clamp: a sub-ULP horizon must still advance the clock,
+                # or the timer respins at this timestamp forever.
+                self.sim.schedule_callback(max(horizon, 1e-9),
+                                           self._on_timer, token)
+
+    def _on_timer(self, token: int) -> None:
+        if token != self._timer_token:
+            return
+        self._advance()
+        self._schedule_realloc()
+
+    def _assign_rates(self) -> None:
+        """Vectorised progressive-filling max–min allocation.
+
+        Iterations are bounded by the number of distinct binding
+        constraints: each round saturates at least one NIC direction, the
+        core, or a cap level (relative tolerances keep float error from
+        stalling the loop).
+        """
+        n_flows = len(self.flows)
+        if n_flows == 0:
+            return
+        src, dst, caps = self._src, self._dst, self._caps
+        rates = np.zeros(n_flows)
+        active = np.ones(n_flows, dtype=bool)
+        tx_head = np.full(self.n_nodes, self.nic_bw)
+        rx_head = np.full(self.n_nodes, self.nic_bw)
+        core_head = self.bisection_bw
+        nic_tol = 1e-7 * self.nic_bw
+        finite_cap = np.isfinite(caps)
+        cap_tol = np.where(finite_cap, 1e-7 * caps + 1e-12, 0.0)
+
+        while active.any():
+            tx_cnt = np.bincount(src[active], minlength=self.n_nodes)
+            rx_cnt = np.bincount(dst[active], minlength=self.n_nodes)
+            inc = math.inf
+            tx_used = tx_cnt > 0
+            if tx_used.any():
+                inc = min(inc, float((tx_head[tx_used]
+                                      / tx_cnt[tx_used]).min()))
+            rx_used = rx_cnt > 0
+            if rx_used.any():
+                inc = min(inc, float((rx_head[rx_used]
+                                      / rx_cnt[rx_used]).min()))
+            n_active = int(active.sum())
+            if core_head is not None:
+                inc = min(inc, core_head / n_active)
+            margins = caps[active] - rates[active]
+            inc = min(inc, float(margins.min()))
+            if not math.isfinite(inc) or inc < 0:
+                inc = 0.0
+            # Raise the water level for every unfixed flow.
+            rates[active] += inc
+            tx_head -= inc * tx_cnt
+            rx_head -= inc * rx_cnt
+            if core_head is not None:
+                core_head -= inc * n_active
+            # Freeze flows that hit their cap or a saturated constraint.
+            sat_tx = tx_head <= nic_tol
+            sat_rx = rx_head <= nic_tol
+            frozen = ((finite_cap & (caps - rates <= cap_tol))
+                      | sat_tx[src] | sat_rx[dst])
+            if core_head is not None and \
+                    core_head <= 1e-7 * (self.bisection_bw or 1.0):
+                frozen = np.ones(n_flows, dtype=bool)
+            newly = active & frozen
+            if not newly.any():
+                break  # no progress possible: freeze the rest as-is
+            active &= ~frozen
+
+        self._rates = rates
+        for f, r in zip(self.flows, rates):
+            f.rate = float(r)

@@ -1,0 +1,33 @@
+"""Fetch-request framing effects.
+
+Spark shuffles intermediate data with sized fetch requests
+(``spark.reducer.maxMbInFlight``, 1 GB in the paper's tuning, Table I).
+The paper creates its "network bottleneck" scenario (Fig 13(b)) by
+shrinking the request size to 128 KB: each request then pays a full
+round-trip plus server-side handling before the next can stream, capping
+the per-flow throughput far below the NIC line rate.
+
+In a fluid model this is a *per-flow rate cap*:
+
+``cap = request_bytes / (request_bytes / line_rate + per_request_overhead)``
+
+With 1 GB requests on a 4 GB/s NIC and ~200 µs overhead the cap is
+~3.997 GB/s (negligible); with 128 KB requests it collapses to ~560 MB/s.
+"""
+
+from __future__ import annotations
+
+__all__ = ["request_rate_cap"]
+
+
+def request_rate_cap(request_bytes: float, line_rate: float,
+                     per_request_overhead: float = 200e-6) -> float:
+    """Maximum sustained rate of a flow issuing sized, serial requests."""
+    if request_bytes <= 0:
+        raise ValueError("request_bytes must be positive")
+    if line_rate <= 0:
+        raise ValueError("line_rate must be positive")
+    if per_request_overhead < 0:
+        raise ValueError("per_request_overhead must be non-negative")
+    wire_time = request_bytes / line_rate
+    return request_bytes / (wire_time + per_request_overhead)

@@ -1,0 +1,40 @@
+"""Discrete-event simulation kernel.
+
+A small, from-scratch, generator-based DES in the style of SimPy,
+providing the substrate for every simulated subsystem in this package:
+
+* :class:`~repro.sim.core.Simulator` — the event loop.
+* :class:`~repro.sim.events.Event`, :class:`~repro.sim.events.Timeout`,
+  :class:`~repro.sim.events.AllOf`, :class:`~repro.sim.events.AnyOf` —
+  waitable events with success/failure propagation.
+* :class:`~repro.sim.process.Process` — a generator that yields events.
+* :class:`~repro.sim.resources.Resource`,
+  :class:`~repro.sim.resources.Container`,
+  :class:`~repro.sim.resources.Store` — classic queueing primitives.
+* :class:`~repro.sim.fluid.FluidPipe` — a shared-bandwidth fluid channel
+  used to model NICs, block devices, and parallel-filesystem pools.
+* :class:`~repro.sim.rng.RandomStreams` — named deterministic RNG streams.
+"""
+
+from repro.sim.core import Simulator
+from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
+from repro.sim.process import Process
+from repro.sim.resources import Container, Resource, Store
+from repro.sim.fluid import FluidPipe, Flow
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "Event",
+    "Flow",
+    "FluidPipe",
+    "Interrupt",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "Simulator",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,129 @@
+"""The simulation event loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, Optional, Union
+
+from repro.sim.events import NORMAL, AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+
+__all__ = ["Simulator", "EmptySchedule"]
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Simulator.step` when no events remain."""
+
+
+class Simulator:
+    """A priority-queue driven discrete-event simulator.
+
+    Time is a float in arbitrary units (this package uses seconds).
+    Events scheduled at equal timestamps run in (priority, FIFO) order,
+    which makes runs fully deterministic.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._queue: list = []
+        self._seq = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    # -- event factories --------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> Timeout:
+        return Timeout(self, delay, value=value, name=name)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def schedule_callback(self, delay: float, fn, *args: Any) -> Event:
+        """Run ``fn(*args)`` after ``delay`` sim-time units.
+
+        A lightweight alternative to spawning a process for fire-and-forget
+        work (timers, rate reallocation, monitoring ticks).
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        ev = Event(self, name=getattr(fn, "__name__", "callback"))
+        ev._ok = True
+        ev._value = None
+        ev.add_callback(lambda _e: fn(*args))
+        self._enqueue(ev, NORMAL, delay=delay)
+        return ev
+
+    # -- scheduling --------------------------------------------------------
+    def _enqueue(self, event: Event, priority: int = NORMAL,
+                 delay: float = 0.0) -> None:
+        """Queue a triggered event for callback processing."""
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Timestamp of the next event, or +inf when the schedule is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        try:
+            when, _prio, _seq, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+        if when < self._now:  # pragma: no cover - defensive
+            raise RuntimeError("event scheduled in the past")
+        self._now = when
+        event._process()
+        # Surface undefused failures: a failed event nobody waited on is a bug.
+        if event.triggered and not event.ok and not event.defused():
+            raise event.value
+
+    def run(self, until: Optional[Union[float, Event]] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the schedule is empty;
+        * a float — run until simulated time reaches that value;
+        * an :class:`Event` — run until the event is processed and return
+          its value (raising its exception if it failed).
+        """
+        if until is None:
+            try:
+                while True:
+                    self.step()
+            except EmptySchedule:
+                return None
+
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                try:
+                    self.step()
+                except EmptySchedule:
+                    raise RuntimeError(
+                        f"simulation ran dry before {stop!r} triggered"
+                    ) from None
+            if not stop.ok:
+                stop.defuse()
+                raise stop.value
+            return stop.value
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise ValueError(f"until={horizon} lies in the past (now={self._now})")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

@@ -1,0 +1,192 @@
+"""Fluid-flow shared-bandwidth channels.
+
+A :class:`FluidPipe` carries any number of concurrent flows that share its
+capacity under max–min fairness with optional per-flow rate caps.  The
+aggregate capacity may be a function of the number of active flows, which
+is how concurrency-dependent device behaviour (e.g. SSD garbage-collection
+interference) is expressed.
+
+Rates are piecewise-constant between *flow events* (a flow starting or
+finishing, or an explicit capacity change); at each event the pipe advances
+all remaining-byte counters and reschedules the next completion.  This is
+the standard flow-level (fluid) approximation used by network and storage
+simulators: per-packet behaviour is abstracted away but contention,
+fair-sharing, and completion-time dynamics are preserved.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+__all__ = ["FluidPipe", "Flow", "fair_share"]
+
+
+def fair_share(capacity: float, caps: List[float]) -> List[float]:
+    """Max–min fair allocation of ``capacity`` among flows with rate caps.
+
+    Returns one rate per entry in ``caps``.  Uncapped flows should pass
+    ``math.inf``.  The result is work-conserving: either every flow is at
+    its cap or the full capacity is used.
+    """
+    n = len(caps)
+    if n == 0:
+        return []
+    rates = [0.0] * n
+    remaining = capacity
+    # Process flows in ascending cap order; each round gives every unfixed
+    # flow an equal share, fixing flows whose cap is below that share.
+    order = sorted(range(n), key=lambda i: caps[i])
+    unfixed = n
+    for idx in order:
+        share = remaining / unfixed
+        give = min(caps[idx], share)
+        rates[idx] = give
+        remaining -= give
+        unfixed -= 1
+    return rates
+
+
+class Flow:
+    """One transfer through a :class:`FluidPipe`."""
+
+    __slots__ = ("pipe", "size", "remaining", "rate", "cap", "done",
+                 "started_at", "tag")
+
+    def __init__(self, pipe: "FluidPipe", size: float, cap: float,
+                 done: Event, tag: Any) -> None:
+        self.pipe = pipe
+        self.size = float(size)
+        self.remaining = float(size)
+        self.rate = 0.0
+        self.cap = float(cap)
+        self.done = done
+        self.started_at = pipe.sim.now
+        self.tag = tag
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Flow tag={self.tag!r} {self.remaining:.0f}/{self.size:.0f}B"
+                f" @{self.rate:.0f}B/s>")
+
+
+class FluidPipe:
+    """A shared-bandwidth channel with max–min fair sharing.
+
+    Parameters
+    ----------
+    capacity:
+        Aggregate bandwidth in bytes/second (ignored if ``capacity_fn``).
+    capacity_fn:
+        Optional ``f(n_active_flows) -> bytes_per_second``; re-evaluated at
+        every flow event, enabling load-dependent aggregate throughput.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: float,
+                 name: str = "",
+                 capacity_fn: Optional[Callable[[int], float]] = None) -> None:
+        if capacity < 0:
+            raise ValueError(f"negative capacity {capacity}")
+        self.sim = sim
+        self.name = name
+        self._capacity = float(capacity)
+        self.capacity_fn = capacity_fn
+        self.flows: List[Flow] = []
+        self._last_advance = sim.now
+        self._timer_token = 0
+        self.bytes_completed = 0.0
+
+    # -- public API -------------------------------------------------------
+    @property
+    def capacity(self) -> float:
+        if self.capacity_fn is not None:
+            return max(0.0, float(self.capacity_fn(len(self.flows))))
+        return self._capacity
+
+    @property
+    def n_active(self) -> int:
+        return len(self.flows)
+
+    @property
+    def load(self) -> float:
+        """Total bytes still in flight."""
+        self._advance()
+        return sum(f.remaining for f in self.flows)
+
+    def set_capacity(self, capacity: float) -> None:
+        """Change the static capacity (takes effect immediately)."""
+        if capacity < 0:
+            raise ValueError(f"negative capacity {capacity}")
+        self._advance()
+        self._capacity = float(capacity)
+        self._reallocate()
+
+    def poke(self) -> None:
+        """Force a rate recomputation (e.g. after external state changed
+        the value returned by ``capacity_fn``)."""
+        self._advance()
+        self._reallocate()
+
+    def transfer(self, nbytes: float, cap: float = math.inf,
+                 tag: Any = None) -> Event:
+        """Start a flow of ``nbytes``; the returned event succeeds with the
+        flow object when the last byte has been delivered."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")
+        done = Event(self.sim, name=f"xfer:{self.name}")
+        flow = Flow(self, nbytes, cap, done, tag)
+        if nbytes == 0:
+            done.succeed(flow)
+            return done
+        self._advance()
+        self.flows.append(flow)
+        self._reallocate()
+        return done
+
+    # -- internals ---------------------------------------------------------
+    def _advance(self) -> None:
+        """Apply current rates over the elapsed interval."""
+        now = self.sim.now
+        dt = now - self._last_advance
+        self._last_advance = now
+        if dt <= 0 or not self.flows:
+            return
+        finished = []
+        for f in self.flows:
+            f.remaining -= f.rate * dt
+            if f.remaining <= 1e-6:
+                f.remaining = 0.0
+                finished.append(f)
+        for f in finished:
+            self.flows.remove(f)
+            self.bytes_completed += f.size
+            f.done.succeed(f)
+
+    def _reallocate(self) -> None:
+        """Recompute fair-share rates and reschedule the completion timer."""
+        if self.flows:
+            rates = fair_share(self.capacity, [f.cap for f in self.flows])
+            for f, r in zip(self.flows, rates):
+                f.rate = r
+        self._timer_token += 1
+        token = self._timer_token
+        horizon = math.inf
+        for f in self.flows:
+            if f.rate > 0:
+                horizon = min(horizon, f.remaining / f.rate)
+        if math.isfinite(horizon):
+            # Clamp so now+horizon strictly advances the clock even for
+            # near-finished flows (otherwise a sub-ULP horizon respins the
+            # timer at the same timestamp forever).
+            self.sim.schedule_callback(max(horizon, 1e-9),
+                                       self._on_timer, token)
+
+    def _on_timer(self, token: int) -> None:
+        if token != self._timer_token:
+            return  # stale timer; a newer reallocation superseded it
+        self._advance()
+        self._reallocate()

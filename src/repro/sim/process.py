@@ -1,0 +1,99 @@
+"""Generator-based simulation processes."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.sim.events import NORMAL, URGENT, Event, Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """A process is a generator that yields :class:`Event` s.
+
+    The process resumes when the yielded event is processed, receiving the
+    event's value as the result of the ``yield`` expression (or having the
+    event's exception thrown into it on failure).  The process object is
+    itself an event that triggers with the generator's return value, so
+    processes can wait on one another.
+    """
+
+    __slots__ = ("_generator", "_target")
+
+    def __init__(self, sim: "Simulator", generator: Generator,
+                 name: str = "") -> None:
+        if not hasattr(generator, "send"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(sim, name=name or getattr(generator, "__name__", ""))
+        self._generator = generator
+        self._target: Optional[Event] = None
+        # Kick off the process at the current time via an init event.
+        init = Event(sim, name="<init>")
+        init._ok = True
+        init._value = None
+        init.add_callback(self._resume)
+        sim._enqueue(init, URGENT)
+        self._target = init
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting on."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already terminated")
+        if self._target is not None:
+            self._target.remove_callback(self._resume)
+        fail = Event(self.sim, name="<interrupt>")
+        fail._ok = False
+        fail._value = Interrupt(cause)
+        fail._defused = True
+        fail.add_callback(self._resume)
+        self.sim._enqueue(fail, URGENT)
+        self._target = fail
+
+    # -- stepping ----------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        while True:
+            try:
+                if event.ok:
+                    next_event = self._generator.send(event.value)
+                else:
+                    event.defuse()
+                    next_event = self._generator.throw(event.value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                self.fail(exc)
+                return
+
+            if not isinstance(next_event, Event):
+                exc = RuntimeError(
+                    f"process {self.name!r} yielded a non-event: {next_event!r}")
+                try:
+                    self._generator.throw(exc)
+                except StopIteration as stop:
+                    self.succeed(stop.value)
+                except BaseException as err:
+                    self.fail(err)
+                return
+
+            if next_event.callbacks is not None:
+                # Event still pending: park until it is processed.
+                next_event.add_callback(self._resume)
+                self._target = next_event
+                return
+            # Event already processed: loop and feed its outcome immediately.
+            event = next_event

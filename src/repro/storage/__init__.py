@@ -1,0 +1,28 @@
+"""Storage-device substrate.
+
+Models the node-local storage stack of an HPC compute node:
+
+* :class:`~repro.storage.device.BlockDevice` — a fluid-bandwidth device.
+* :class:`~repro.storage.ssd.SSDDevice` — SATA SSD with a clean-block
+  pool and garbage-collection interference (paper §IV-C/D).
+* :class:`~repro.storage.ramdisk.RamDisk` — tmpfs-style RAM-backed device.
+* :class:`~repro.storage.pagecache.PageCache` — OS page cache with dirty
+  throttling, background writeback and an LRU read cache.
+* :class:`~repro.storage.volume.LocalVolume` — a mounted filesystem:
+  page cache over a device, with capacity accounting.
+"""
+
+from repro.storage.device import BlockDevice, DeviceFullError
+from repro.storage.ssd import SSDDevice
+from repro.storage.ramdisk import RamDisk
+from repro.storage.pagecache import PageCache
+from repro.storage.volume import LocalVolume
+
+__all__ = [
+    "BlockDevice",
+    "DeviceFullError",
+    "LocalVolume",
+    "PageCache",
+    "RamDisk",
+    "SSDDevice",
+]

@@ -1,0 +1,193 @@
+"""OS page-cache model: dirty throttling, writeback, LRU read cache.
+
+The paper's Fig 8(a/b) crossovers are page-cache effects: writes up to
+roughly the cache size complete at memory speed ("caching effects from
+the file system"), and shuffle reads of recently written data are served
+from memory.  Beyond the dirty limit, writers are throttled to the
+device's drain rate — which, for the SSD in its GC era, collapses.
+
+The model:
+
+* ``write(nbytes, file_id)`` — bytes under the dirty headroom are absorbed
+  at memory-copy bandwidth; the remainder is written through at device
+  speed (sharing the device write channel with background writeback).
+* A background writeback process drains dirty bytes to the device in
+  chunks whenever any are pending.
+* ``read(nbytes, file_id)`` — cached bytes are served at memory bandwidth,
+  the rest from the device; an LRU keyed by ``file_id`` decides residency.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Hashable, Optional
+
+from repro.sim.events import Event
+from repro.sim.fluid import FluidPipe
+from repro.storage.device import GB, MB, BlockDevice
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+__all__ = ["PageCache"]
+
+
+class PageCache:
+    """Write-back page cache in front of a :class:`BlockDevice`."""
+
+    def __init__(self, sim: "Simulator", device: BlockDevice,
+                 memory_bw: float = 3.0 * GB,
+                 cache_bytes: float = 8.0 * GB,
+                 dirty_limit_bytes: Optional[float] = None,
+                 writeback_chunk: float = 64 * MB,
+                 name: str = "pagecache") -> None:
+        if cache_bytes <= 0:
+            raise ValueError("cache_bytes must be positive")
+        self.sim = sim
+        self.device = device
+        self.name = name
+        self.cache_bytes = float(cache_bytes)
+        self.dirty_limit = float(dirty_limit_bytes
+                                 if dirty_limit_bytes is not None
+                                 else cache_bytes * 0.5)
+        self.writeback_chunk = float(writeback_chunk)
+        self.mem_pipe = FluidPipe(sim, memory_bw, name=f"{name}.mem")
+        self.dirty = 0.0
+        self._wb_active = False
+        self._clean_waiters: list = []
+        # LRU of file_id -> cached bytes.
+        self._resident: "OrderedDict[Hashable, float]" = OrderedDict()
+        self._resident_total = 0.0
+        # Statistics.
+        self.bytes_absorbed = 0.0     # fast-path writes
+        self.bytes_throttled = 0.0    # writes forced to device speed
+        self.read_hits = 0.0
+        self.read_misses = 0.0
+
+    # -- residency bookkeeping -------------------------------------------------
+    def cached_bytes_of(self, file_id: Hashable) -> float:
+        return self._resident.get(file_id, 0.0)
+
+    @property
+    def resident_bytes(self) -> float:
+        return self._resident_total
+
+    def _insert(self, file_id: Hashable, nbytes: float) -> None:
+        if nbytes <= 0:
+            return
+        if file_id in self._resident:
+            self._resident[file_id] += nbytes
+            self._resident.move_to_end(file_id)
+        else:
+            self._resident[file_id] = nbytes
+        self._resident_total += nbytes
+        self._evict()
+
+    def _touch(self, file_id: Hashable) -> None:
+        if file_id in self._resident:
+            self._resident.move_to_end(file_id)
+
+    def _evict(self) -> None:
+        while self._resident_total > self.cache_bytes and self._resident:
+            fid, nbytes = next(iter(self._resident.items()))
+            overflow = self._resident_total - self.cache_bytes
+            if nbytes <= overflow:
+                self._resident.popitem(last=False)
+                self._resident_total -= nbytes
+            else:
+                self._resident[fid] = nbytes - overflow
+                self._resident_total -= overflow
+
+    def invalidate(self, file_id: Hashable) -> None:
+        """Drop a file from the cache (e.g. after deletion)."""
+        nbytes = self._resident.pop(file_id, 0.0)
+        self._resident_total -= nbytes
+
+    # -- I/O paths ---------------------------------------------------------------
+    def write(self, nbytes: float, file_id: Hashable,
+              account: bool = True) -> Event:
+        """Write ``nbytes`` of ``file_id`` through the cache."""
+        if nbytes < 0:
+            raise ValueError(f"negative write {nbytes}")
+        if account:
+            self.device.allocate(nbytes)
+
+        def go():
+            headroom = max(0.0, self.dirty_limit - self.dirty)
+            fast = min(nbytes, headroom)
+            slow = nbytes - fast
+            if fast > 0:
+                self.dirty += fast
+                self.bytes_absorbed += fast
+                self._insert(file_id, fast)
+                self._kick_writeback()
+                yield self.mem_pipe.transfer(fast)
+            if slow > 0:
+                # Dirty limit reached: the writer is throttled to device
+                # speed, sharing the write channel with background flush.
+                self.bytes_throttled += slow
+                yield self.device.write(slow, account=False)
+                self._insert(file_id, slow)
+            return nbytes
+
+        return self.sim.process(go(), name=f"{self.name}.write")
+
+    def read(self, nbytes: float, file_id: Hashable,
+             of_total: Optional[float] = None) -> Event:
+        """Read ``nbytes`` of ``file_id``; cache hits go at memory speed.
+
+        ``of_total`` marks this as a slice of a larger file of that size:
+        the hit fraction is then the file's resident fraction, modelling
+        random slices of a partially cached bundle (shuffle reads of a
+        node's output that only partly fits in the cache).
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative read {nbytes}")
+
+        def go():
+            cached = self.cached_bytes_of(file_id)
+            if of_total is not None and of_total > 0:
+                hit = nbytes * min(1.0, cached / of_total)
+            else:
+                hit = min(nbytes, cached)
+            miss = nbytes - hit
+            self._touch(file_id)
+            self.read_hits += hit
+            self.read_misses += miss
+            if hit > 0:
+                yield self.mem_pipe.transfer(hit)
+            if miss > 0:
+                yield self.device.read(miss)
+                if of_total is None:
+                    # Slice reads of a bigger bundle are read-once shuffle
+                    # traffic; caching them would overstate residency.
+                    self._insert(file_id, miss)
+            return nbytes
+
+        return self.sim.process(go(), name=f"{self.name}.read")
+
+    # -- background writeback -------------------------------------------------
+    def _kick_writeback(self) -> None:
+        if not self._wb_active and self.dirty > 0:
+            self._wb_active = True
+            self.sim.process(self._writeback(), name=f"{self.name}.wb")
+
+    def _writeback(self):
+        while self.dirty > 1e-6:
+            chunk = min(self.writeback_chunk, self.dirty)
+            yield self.device.write(chunk, account=False)
+            self.dirty -= chunk
+        self._wb_active = False
+        waiters, self._clean_waiters = self._clean_waiters, []
+        for ev in waiters:
+            ev.succeed()
+
+    def flush(self) -> Event:
+        """Force all dirty bytes to the device; event fires when clean."""
+        ev = Event(self.sim, name=f"{self.name}.flush")
+        if self.dirty <= 1e-6:
+            ev.succeed()
+            return ev
+        self._clean_waiters.append(ev)
+        self._kick_writeback()
+        return ev

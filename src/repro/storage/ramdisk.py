@@ -1,0 +1,32 @@
+"""RAM-backed block device (tmpfs / RAMDisk).
+
+Hyperion reserves 32 GB of each node's memory as a RAMDisk; the paper's
+"data-centric HDFS configuration" backs every DataNode — and the shuffle
+directories — with it.  The device is bandwidth-limited by memory-copy
+speed and, critically, *capacity-limited*: the paper notes HDFS over
+RAMDisk could only support up to 1.2 TB of intermediate data cluster-wide.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.storage.device import GB, BlockDevice
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+__all__ = ["RamDisk"]
+
+
+class RamDisk(BlockDevice):
+    """A tmpfs-style RAM disk: fast, capacity-bounded, no GC pathologies."""
+
+    def __init__(self, sim: "Simulator",
+                 capacity_bytes: float = 32 * GB,
+                 read_bw: float = 4.0 * GB,
+                 write_bw: float = 2.5 * GB,
+                 name: str = "ramdisk") -> None:
+        super().__init__(sim, read_bw=read_bw, write_bw=write_bw,
+                         capacity_bytes=capacity_bytes, name=name,
+                         chunk_bytes=256 * GB)  # effectively unchunked

@@ -1,0 +1,126 @@
+"""SATA SSD model with garbage-collection interference.
+
+The paper (§IV-C/D, Fig 8) documents three behavioural eras for
+ShuffleMapTasks writing intermediate data to the node-local SSD:
+
+1. **Fast era** — early writes land in the device write buffer and on
+   clean (pre-erased) flash blocks at peak bandwidth.
+2. **Degraded era** — once the clean-block pool is depleted, delayed
+   writes and garbage collection activate and compete with foreground
+   writes.
+3. **Severe era** — continued writing raises GC pressure (valid-page
+   migration, write amplification); aggressive task dispatch keeps the
+   queue deep, and interference among concurrent writers compounds the
+   slowdown (Fig 8(d), tasks 4800–6400).
+
+This module reproduces that state machine as a load- and history-
+dependent write-capacity function:
+
+``capacity(q) = peak · era(written) · interference(q)``
+
+where ``era`` decays from 1.0 toward a floor as cumulative bytes exceed
+the clean pool, and ``interference`` penalises queue depths beyond a
+knee — the property CAD (§VI-B) exploits: *throttling concurrent writers
+raises aggregate throughput once GC is active*.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.storage.device import GB, MB, BlockDevice
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+__all__ = ["SSDDevice"]
+
+
+class SSDDevice(BlockDevice):
+    """A SATA SSD (Hyperion: 128 GB, 387 MB/s write, 507 MB/s read).
+
+    Parameters
+    ----------
+    clean_pool_bytes:
+        Bytes writable at peak speed before GC activates (over-provisioned
+        area plus pre-erased blocks).
+    gc_base_efficiency:
+        Write efficiency right after GC activates (fraction of peak).
+    gc_pressure_coeff:
+        How fast efficiency continues to decay with overwrite pressure
+        ``(written - pool) / pool``.
+    interference_knee:
+        Queue depth beyond which concurrent writers interfere.
+    interference_slope:
+        Additional efficiency loss per writer beyond the knee (only while
+        GC is active).
+    interference_floor:
+        Lower bound on the interference factor.
+    read_gc_penalty:
+        Mild read-bandwidth penalty while GC is active (the paper observed
+        only moderate variation among read/shuffle tasks).
+    """
+
+    def __init__(self, sim: "Simulator",
+                 capacity_bytes: float = 128 * GB,
+                 read_bw: float = 507 * MB,
+                 write_bw: float = 387 * MB,
+                 clean_pool_bytes: float = 8 * GB,
+                 gc_base_efficiency: float = 0.5,
+                 gc_pressure_coeff: float = 0.6,
+                 min_era_efficiency: float = 0.4,
+                 interference_knee: int = 4,
+                 interference_slope: float = 0.035,
+                 interference_floor: float = 0.45,
+                 read_gc_penalty: float = 0.85,
+                 name: str = "ssd") -> None:
+        self.clean_pool_bytes = float(clean_pool_bytes)
+        self.gc_base_efficiency = float(gc_base_efficiency)
+        self.gc_pressure_coeff = float(gc_pressure_coeff)
+        self.min_era_efficiency = float(min_era_efficiency)
+        self.interference_knee = int(interference_knee)
+        self.interference_slope = float(interference_slope)
+        self.interference_floor = float(interference_floor)
+        self.read_gc_penalty = float(read_gc_penalty)
+        super().__init__(sim, read_bw=read_bw, write_bw=write_bw,
+                         capacity_bytes=capacity_bytes, name=name,
+                         chunk_bytes=64 * MB,
+                         write_capacity_fn=self._write_capacity,
+                         read_capacity_fn=self._read_capacity)
+
+    # -- state ---------------------------------------------------------------
+    @property
+    def gc_active(self) -> bool:
+        """True once cumulative writes have exhausted the clean pool."""
+        return self.write_pipe.bytes_completed > self.clean_pool_bytes
+
+    @property
+    def gc_pressure(self) -> float:
+        """Overwrite pressure: bytes written past the pool, in pool units."""
+        excess = self.write_pipe.bytes_completed - self.clean_pool_bytes
+        return max(0.0, excess / self.clean_pool_bytes)
+
+    def era_efficiency(self) -> float:
+        """History-dependent efficiency factor (era 1 → 1.0, then decaying)."""
+        if not self.gc_active:
+            return 1.0
+        decayed = self.gc_base_efficiency / (
+            1.0 + self.gc_pressure_coeff * self.gc_pressure)
+        return max(self.min_era_efficiency, decayed)
+
+    def interference(self, queue_depth: int) -> float:
+        """Concurrency penalty; only applies while GC is active."""
+        if not self.gc_active or queue_depth <= self.interference_knee:
+            return 1.0
+        factor = 1.0 - self.interference_slope * (
+            queue_depth - self.interference_knee)
+        return max(self.interference_floor, factor)
+
+    # -- capacity functions ----------------------------------------------------
+    def _write_capacity(self, n_flows: int) -> float:
+        return (self.peak_write_bw * self.era_efficiency()
+                * self.interference(n_flows))
+
+    def _read_capacity(self, n_flows: int) -> float:
+        penalty = self.read_gc_penalty if self.gc_active else 1.0
+        return self.peak_read_bw * penalty

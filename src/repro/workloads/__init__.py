@@ -1,0 +1,36 @@
+"""The paper's three benchmarks (§III-B): GroupBy, Grep, Logistic Regression.
+
+Each module provides (a) a :class:`~repro.core.jobspec.JobSpec` factory
+parameterised the way the paper sweeps it, and (b) a *real* implementation
+on the local RDD backend so the programming model is exercised end to end.
+"""
+
+from repro.workloads.groupby import groupby_spec, run_groupby_local
+from repro.workloads.grep import grep_spec, run_grep_local
+from repro.workloads.logreg import (
+    logistic_regression_spec,
+    run_logistic_regression_local,
+)
+from repro.workloads.wordcount import run_wordcount_local, wordcount_spec
+from repro.workloads.kmeans import kmeans_spec, run_kmeans_local
+from repro.workloads.datagen import (
+    generate_kv_pairs,
+    generate_labelled_points,
+    generate_text_corpus,
+)
+
+__all__ = [
+    "generate_kv_pairs",
+    "generate_labelled_points",
+    "generate_text_corpus",
+    "grep_spec",
+    "groupby_spec",
+    "kmeans_spec",
+    "logistic_regression_spec",
+    "run_grep_local",
+    "run_groupby_local",
+    "run_kmeans_local",
+    "run_logistic_regression_local",
+    "run_wordcount_local",
+    "wordcount_spec",
+]

@@ -1,0 +1,92 @@
+"""Tests for the analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ascii_bar_chart,
+    cdf,
+    format_table,
+    improvement,
+    median_of,
+    percentile_spread,
+    ratio,
+    speedup,
+)
+
+
+class TestCDF:
+    def test_cdf_is_sorted_and_normalised(self):
+        x, p = cdf([3.0, 1.0, 2.0])
+        assert list(x) == [1.0, 2.0, 3.0]
+        assert p[-1] == 1.0
+        assert (np.diff(p) > 0).all()
+
+    def test_cdf_empty_raises(self):
+        with pytest.raises(ValueError):
+            cdf([])
+
+    def test_percentile_spread(self):
+        values = list(range(1, 101))
+        s = percentile_spread(values, low=10, high=90)
+        assert s == pytest.approx(90.1 / 10.9, rel=0.05)
+
+    def test_percentile_spread_zero_head(self):
+        assert percentile_spread([0.0, 0.0, 1.0]) == float("inf")
+
+    def test_percentile_spread_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile_spread([])
+
+
+class TestStats:
+    def test_median_of_runs_every_seed(self):
+        seen = []
+
+        def run(seed):
+            seen.append(seed)
+            return float(seed)
+
+        assert median_of(run, [3, 1, 2]) == 2.0
+        assert sorted(seen) == [1, 2, 3]
+
+    def test_median_of_no_seeds_raises(self):
+        with pytest.raises(ValueError):
+            median_of(lambda s: 0.0, [])
+
+    def test_ratio_guard(self):
+        assert ratio(1.0, 0.0) == float("inf")
+        assert ratio(6.0, 3.0) == 2.0
+
+    def test_speedup_and_improvement(self):
+        assert speedup(10.0, 5.0) == 2.0
+        assert improvement(10.0, 7.4) == pytest.approx(26.0)
+        assert improvement(0.0, 5.0) == 0.0
+
+
+class TestTables:
+    def test_format_table_aligns(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 33.125]],
+                           title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_nan_renders_na(self):
+        out = format_table(["x"], [[float("nan")]])
+        assert "n/a" in out
+
+    def test_bar_chart(self):
+        out = ascii_bar_chart(["one", "two"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_bar_chart_nan(self):
+        out = ascii_bar_chart(["x"], [float("nan")])
+        assert "n/a" in out
+
+    def test_bar_chart_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [1.0, 2.0])

@@ -1,0 +1,99 @@
+"""Unit tests for engine internals (sizing, noise, cache locations)."""
+
+import numpy as np
+import pytest
+
+from repro import Cluster, EngineOptions, JobSpec, SparkSim, hyperion
+from repro.workloads import groupby_spec, logistic_regression_spec
+
+GB = 1024.0 ** 3
+MB = 1024.0 ** 2
+
+
+def make_engine(spec, n_nodes=2, **opt):
+    cluster = Cluster(hyperion(n_nodes), seed=0)
+    return SparkSim(cluster, spec, EngineOptions(**opt))
+
+
+class TestSplitSizing:
+    def test_uniform_splits(self):
+        eng = make_engine(JobSpec(input_bytes=GB, split_bytes=256 * MB))
+        sizes = [eng._split_size(i) for i in range(4)]
+        assert all(s == 256 * MB for s in sizes)
+
+    def test_partial_last_split(self):
+        eng = make_engine(JobSpec(input_bytes=300 * MB,
+                                  split_bytes=128 * MB))
+        sizes = [eng._split_size(i) for i in range(3)]
+        assert sizes[:2] == [128 * MB, 128 * MB]
+        assert sizes[2] == pytest.approx(44 * MB)
+
+    def test_hdfs_splits_follow_blocks(self):
+        spec = JobSpec(input_bytes=300 * MB, split_bytes=128 * MB,
+                       input_source="hdfs")
+        eng = make_engine(spec)
+        total = sum(eng._split_size(i) for i in range(spec.n_map_tasks))
+        assert total == pytest.approx(300 * MB)
+
+
+class TestNoise:
+    def test_noise_deterministic_per_seed(self):
+        e1 = make_engine(JobSpec(), seed=4)
+        e2 = make_engine(JobSpec(), seed=4)
+        n1 = e1._noise_factors("x", 10, 0.2)
+        n2 = e2._noise_factors("x", 10, 0.2)
+        assert np.allclose(n1, n2)
+
+    def test_noise_differs_across_seeds(self):
+        n1 = make_engine(JobSpec(), seed=1)._noise_factors("x", 10, 0.2)
+        n2 = make_engine(JobSpec(), seed=2)._noise_factors("x", 10, 0.2)
+        assert not np.allclose(n1, n2)
+
+    def test_zero_sigma_gives_ones(self):
+        n = make_engine(JobSpec())._noise_factors("x", 5, 0.0)
+        assert (n == 1.0).all()
+
+    def test_noise_centred_near_one(self):
+        n = make_engine(JobSpec())._noise_factors("x", 4000, 0.1)
+        assert np.median(n) == pytest.approx(1.0, rel=0.05)
+
+
+class TestCacheLocations:
+    def test_locations_recorded_after_iteration_one(self):
+        spec = logistic_regression_spec(2 * GB, input_source="hdfs",
+                                        iterations=2)
+        eng = make_engine(spec)
+        eng.run()
+        assert len(eng._cache_locations) == spec.n_map_tasks
+        assert all(0 <= n < 2 for n in eng._cache_locations.values())
+
+
+class TestStoreAccounting:
+    def test_store_bytes_equal_intermediate(self):
+        spec = groupby_spec(2 * GB, n_reducers=16)
+        eng = make_engine(spec)
+        eng.run()
+        assert eng.node_store_bytes.sum() == pytest.approx(
+            eng.node_intermediate.sum(), rel=1e-6)
+
+    def test_lustre_shared_subfiles_created(self):
+        spec = groupby_spec(2 * GB, shuffle_store="lustre",
+                            fetch_mode="lustre-shared", n_reducers=8)
+        eng = make_engine(spec)
+        eng.run()
+        lustre = eng.cluster.lustre
+        # The per-node bundles were re-keyed into per-reducer subfiles.
+        for node in range(2):
+            assert lustre.size_of(("shuffle", node)) == 0.0
+            total = sum(lustre.size_of(("shuffle", node, r))
+                        for r in range(8))
+            assert total == pytest.approx(
+                eng.node_store_bytes[node], rel=1e-6)
+
+
+class TestEngineOptionsCopy:
+    def test_with_copies(self):
+        base = EngineOptions()
+        mod = base.with_(elb=True, seed=9)
+        assert mod.elb and mod.seed == 9
+        assert not base.elb

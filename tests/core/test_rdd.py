@@ -1,0 +1,199 @@
+"""Tests for the RDD API on the local backend."""
+
+import pytest
+
+from repro.core.local import LocalContext
+from repro.core.dag import execution_plan
+
+
+@pytest.fixture
+def ctx():
+    return LocalContext(parallelism=4)
+
+
+class TestBasics:
+    def test_parallelize_collect_roundtrip(self, ctx):
+        assert ctx.parallelize([3, 1, 2]).collect() == [3, 1, 2]
+
+    def test_partitioning(self, ctx):
+        rdd = ctx.parallelize(range(10), num_partitions=3)
+        assert rdd.num_partitions == 3
+        assert sorted(rdd.collect()) == list(range(10))
+
+    def test_empty_rdd(self, ctx):
+        rdd = ctx.parallelize([])
+        assert rdd.collect() == []
+        assert rdd.count() == 0
+
+    def test_map(self, ctx):
+        assert ctx.parallelize([1, 2, 3]).map(lambda x: x * 2).collect() == \
+            [2, 4, 6]
+
+    def test_filter(self, ctx):
+        assert ctx.range(10).filter(lambda x: x % 2 == 0).collect() == \
+            [0, 2, 4, 6, 8]
+
+    def test_flat_map(self, ctx):
+        out = ctx.parallelize(["a b", "c"]).flat_map(str.split).collect()
+        assert out == ["a", "b", "c"]
+
+    def test_map_partitions(self, ctx):
+        sums = (ctx.parallelize(range(8), num_partitions=2)
+                .map_partitions(lambda it: iter([sum(it)])).collect())
+        assert sum(sums) == 28 and len(sums) == 2
+
+    def test_glom(self, ctx):
+        parts = ctx.parallelize(range(4), num_partitions=2).glom().collect()
+        assert parts == [[0, 1], [2, 3]]
+
+    def test_union(self, ctx):
+        u = ctx.parallelize([1, 2]).union(ctx.parallelize([3]))
+        assert sorted(u.collect()) == [1, 2, 3]
+
+    def test_union_across_contexts_rejected(self, ctx):
+        other = LocalContext()
+        with pytest.raises(ValueError):
+            ctx.parallelize([1]).union(other.parallelize([2]))
+
+    def test_distinct(self, ctx):
+        assert sorted(ctx.parallelize([1, 2, 2, 3, 3, 3]).distinct()
+                      .collect()) == [1, 2, 3]
+
+    def test_sample_deterministic_and_bounded(self, ctx):
+        rdd = ctx.range(1000)
+        a = rdd.sample(0.1, seed=7).collect()
+        b = rdd.sample(0.1, seed=7).collect()
+        assert a == b
+        assert 40 < len(a) < 200
+
+    def test_sample_validation(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.range(10).sample(1.5)
+
+
+class TestActions:
+    def test_count(self, ctx):
+        assert ctx.range(100).count() == 100
+
+    def test_take(self, ctx):
+        assert ctx.range(100).take(3) == [0, 1, 2]
+
+    def test_first(self, ctx):
+        assert ctx.parallelize([9, 8]).first() == 9
+
+    def test_first_of_empty_raises(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.parallelize([]).first()
+
+    def test_reduce(self, ctx):
+        assert ctx.range(5).reduce(lambda a, b: a + b) == 10
+
+    def test_reduce_empty_raises(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.parallelize([]).reduce(lambda a, b: a + b)
+
+    def test_fold(self, ctx):
+        assert ctx.range(5).fold(100, lambda a, b: a + b) == 110
+
+    def test_count_by_key(self, ctx):
+        pairs = [("a", 1), ("b", 1), ("a", 1)]
+        assert ctx.parallelize(pairs).count_by_key() == {"a": 2, "b": 1}
+
+
+class TestKeyValue:
+    def test_group_by_key(self, ctx):
+        pairs = [(1, "a"), (2, "b"), (1, "c")]
+        grouped = dict(ctx.parallelize(pairs).group_by_key().collect())
+        assert sorted(grouped[1]) == ["a", "c"]
+        assert grouped[2] == ["b"]
+
+    def test_reduce_by_key(self, ctx):
+        pairs = [(i % 3, 1) for i in range(30)]
+        out = dict(ctx.parallelize(pairs).reduce_by_key(
+            lambda a, b: a + b).collect())
+        assert out == {0: 10, 1: 10, 2: 10}
+
+    def test_group_by(self, ctx):
+        out = dict(ctx.range(10).group_by(lambda x: x % 2).collect())
+        assert sorted(out[0]) == [0, 2, 4, 6, 8]
+
+    def test_map_values_and_keys_values(self, ctx):
+        rdd = ctx.parallelize([("k", 2)])
+        assert rdd.map_values(lambda v: v * 10).collect() == [("k", 20)]
+        assert rdd.keys().collect() == ["k"]
+        assert rdd.values().collect() == [2]
+
+    def test_flat_map_values(self, ctx):
+        out = ctx.parallelize([("k", 2)]).flat_map_values(range).collect()
+        assert out == [("k", 0), ("k", 1)]
+
+    def test_join(self, ctx):
+        left = ctx.parallelize([("a", 1), ("b", 2)])
+        right = ctx.parallelize([("a", "x"), ("a", "y")])
+        out = sorted(left.join(right).collect())
+        assert out == [("a", (1, "x")), ("a", (1, "y"))]
+
+    def test_shuffle_partition_count(self, ctx):
+        rdd = ctx.parallelize([(i, i) for i in range(20)]).group_by_key(
+            num_partitions=7)
+        assert rdd.num_partitions == 7
+        assert len(rdd.collect()) == 20
+
+    def test_wordcount_end_to_end(self, ctx):
+        lines = ["the cat sat", "the cat", "the"]
+        counts = dict(ctx.parallelize(lines)
+                      .flat_map(str.split)
+                      .map(lambda w: (w, 1))
+                      .reduce_by_key(lambda a, b: a + b)
+                      .collect())
+        assert counts == {"the": 3, "cat": 2, "sat": 1}
+
+
+class TestCaching:
+    def test_cache_avoids_recompute(self, ctx):
+        calls = []
+
+        def probe(x):
+            calls.append(x)
+            return x
+
+        rdd = ctx.range(10).map(probe).cache()
+        rdd.collect()
+        rdd.collect()
+        assert len(calls) == 10  # second collect served from cache
+
+    def test_shuffle_memoised(self, ctx):
+        rdd = ctx.parallelize([(1, 1)] * 10).group_by_key()
+        rdd.collect()
+        rdd.collect()
+        assert ctx.backend.shuffles_run == 1
+
+
+class TestExecutionPlan:
+    def test_narrow_only_is_one_stage(self, ctx):
+        plan = execution_plan(ctx.range(10).map(lambda x: x).filter(bool))
+        assert plan.num_stages == 1
+        assert plan.num_shuffles == 0
+
+    def test_groupby_is_two_stages_like_fig4a(self, ctx):
+        """GroupBy's plan: a compute stage feeding a shuffle, then the
+        result stage — the paper's Fig 4(a) pipeline."""
+        rdd = (ctx.parallelize([(1, 1)]).map(lambda kv: kv)
+               .group_by_key().map(lambda kv: kv))
+        plan = execution_plan(rdd)
+        assert plan.num_stages == 2
+        assert plan.num_shuffles == 1
+        assert plan.stages[0].is_shuffle_map_stage
+        assert not plan.stages[-1].is_shuffle_map_stage
+
+    def test_two_shuffles_three_stages(self, ctx):
+        rdd = (ctx.parallelize([(1, 1)]).group_by_key()
+               .map(lambda kv: (kv[0], len(kv[1]))).group_by_key())
+        plan = execution_plan(rdd)
+        assert plan.num_stages == 3
+        assert plan.num_shuffles == 2
+
+    def test_describe_mentions_stages(self, ctx):
+        plan = execution_plan(ctx.parallelize([(1, 1)]).group_by_key())
+        text = plan.describe()
+        assert "stage 0" in text and "stage 1" in text

@@ -1,0 +1,163 @@
+"""Tests for the extended RDD operator set."""
+
+import pytest
+
+from repro.core.local import LocalContext
+
+
+@pytest.fixture
+def ctx():
+    return LocalContext(parallelism=3)
+
+
+class TestKeyValueExtensions:
+    def test_aggregate_by_key(self, ctx):
+        pairs = [("a", 1), ("a", 2), ("b", 3)]
+        out = dict(ctx.parallelize(pairs).aggregate_by_key(
+            [], lambda acc, v: acc + [v], lambda a, b: a + b).collect())
+        assert sorted(out["a"]) == [1, 2]
+        assert out["b"] == [3]
+
+    def test_aggregate_by_key_zero_not_shared(self, ctx):
+        """deepcopy of the zero value: mutable zeros must not leak
+        between keys (a classic combineByKey bug)."""
+        pairs = [("a", 1), ("b", 2)]
+        out = dict(ctx.parallelize(pairs).aggregate_by_key(
+            [], lambda acc, v: (acc.append(v) or acc),
+            lambda a, b: a + b).collect())
+        assert out["a"] == [1] and out["b"] == [2]
+
+    def test_fold_by_key(self, ctx):
+        pairs = [("a", 1), ("a", 2), ("b", 5)]
+        out = dict(ctx.parallelize(pairs).fold_by_key(
+            0, lambda a, b: a + b).collect())
+        assert out == {"a": 3, "b": 5}
+
+    def test_cogroup(self, ctx):
+        left = ctx.parallelize([("k", 1), ("k", 2), ("only-left", 9)])
+        right = ctx.parallelize([("k", "x")])
+        out = dict(left.cogroup(right).collect())
+        assert sorted(out["k"][0]) == [1, 2]
+        assert out["k"][1] == ["x"]
+        assert out["only-left"] == ([9], [])
+
+    def test_left_outer_join(self, ctx):
+        left = ctx.parallelize([("a", 1), ("b", 2)])
+        right = ctx.parallelize([("a", "x")])
+        out = sorted(left.left_outer_join(right).collect())
+        assert out == [("a", (1, "x")), ("b", (2, None))]
+
+
+class TestOrderingOps:
+    def test_sort_by(self, ctx):
+        out = ctx.parallelize([3, 1, 2]).sort_by(lambda x: x).collect()
+        assert out == [1, 2, 3]
+
+    def test_sort_by_descending(self, ctx):
+        out = ctx.parallelize([3, 1, 2]).sort_by(lambda x: x,
+                                                 ascending=False).collect()
+        assert out == [3, 2, 1]
+
+    def test_sort_by_key(self, ctx):
+        pairs = [(2, "b"), (1, "a"), (3, "c")]
+        assert ctx.parallelize(pairs).sort_by_key().keys().collect() == \
+            [1, 2, 3]
+
+    def test_top_and_take_ordered(self, ctx):
+        rdd = ctx.parallelize([5, 3, 9, 1, 7])
+        assert rdd.top(2) == [9, 7]
+        assert rdd.take_ordered(2) == [1, 3]
+        assert rdd.top(2, key=lambda x: -x) == [1, 3]
+
+
+class TestRepartitioning:
+    def test_coalesce_reduces_partitions(self, ctx):
+        rdd = ctx.parallelize(range(12), num_partitions=6).coalesce(2)
+        assert rdd.num_partitions == 2
+        assert sorted(rdd.collect()) == list(range(12))
+
+    def test_coalesce_cannot_grow(self, ctx):
+        rdd = ctx.parallelize(range(4), num_partitions=2).coalesce(8)
+        assert rdd.num_partitions == 2
+
+    def test_coalesce_validation(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.range(4).coalesce(0)
+
+    def test_repartition_preserves_records(self, ctx):
+        rdd = ctx.parallelize(range(20), num_partitions=2).repartition(5)
+        assert rdd.num_partitions == 5
+        assert sorted(rdd.collect()) == list(range(20))
+
+
+class TestZipAndCartesian:
+    def test_zip_with_index_is_global(self, ctx):
+        out = ctx.parallelize(list("abcd"), num_partitions=2) \
+            .zip_with_index().collect()
+        assert out == [("a", 0), ("b", 1), ("c", 2), ("d", 3)]
+
+    def test_cartesian(self, ctx):
+        left = ctx.parallelize([1, 2], num_partitions=2)
+        right = ctx.parallelize(["x", "y"], num_partitions=1)
+        out = sorted(left.cartesian(right).collect())
+        assert out == [(1, "x"), (1, "y"), (2, "x"), (2, "y")]
+        assert left.cartesian(right).num_partitions == 2
+
+    def test_cartesian_cross_context_rejected(self, ctx):
+        other = LocalContext()
+        with pytest.raises(ValueError):
+            ctx.parallelize([1]).cartesian(other.parallelize([2]))
+
+
+class TestNumericActions:
+    def test_sum_mean_max_min(self, ctx):
+        rdd = ctx.parallelize([4, 1, 3, 2])
+        assert rdd.sum() == 10
+        assert rdd.mean() == pytest.approx(2.5)
+        assert rdd.max() == 4
+        assert rdd.min() == 1
+
+    def test_mean_of_empty_raises(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.parallelize([]).mean()
+
+    def test_count_by_value(self, ctx):
+        assert ctx.parallelize("aab").count_by_value() == {"a": 2, "b": 1}
+
+    def test_is_empty(self, ctx):
+        assert ctx.parallelize([]).is_empty()
+        assert not ctx.parallelize([1]).is_empty()
+
+    def test_foreach(self, ctx):
+        seen = []
+        ctx.parallelize([1, 2]).foreach(seen.append)
+        assert seen == [1, 2]
+
+
+class TestComposition:
+    def test_pagerank_style_pipeline(self, ctx):
+        """A multi-shuffle pipeline exercising join + aggregation."""
+        links = ctx.parallelize([("a", "b"), ("a", "c"), ("b", "c"),
+                                 ("c", "a")])
+        adjacency = links.group_by_key().cache()
+        ranks = adjacency.map_values(lambda _: 1.0)
+        for _ in range(3):
+            contribs = (adjacency.join(ranks)
+                        .flat_map(lambda kv: [
+                            (dst, kv[1][1] / len(kv[1][0]))
+                            for dst in kv[1][0]]))
+            ranks = contribs.reduce_by_key(lambda a, b: a + b) \
+                .map_values(lambda r: 0.15 + 0.85 * r)
+        result = dict(ranks.collect())
+        assert set(result) == {"a", "b", "c"}
+        assert result["c"] > result["b"]  # two in-links beat one
+
+    def test_distributed_sort_pipeline(self, ctx):
+        import random
+        rng = random.Random(0)
+        data = [rng.randint(0, 999) for _ in range(200)]
+        out = (ctx.parallelize(data, num_partitions=8)
+               .distinct()
+               .sort_by(lambda x: x)
+               .collect())
+        assert out == sorted(set(data))

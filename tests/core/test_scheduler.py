@@ -1,0 +1,301 @@
+"""Tests for the stage runner, policies, ELB and CAD."""
+
+import numpy as np
+import pytest
+
+from repro.core.cad import CongestionAwareDispatcher
+from repro.core.elb import EnhancedLoadBalancer
+from repro.core.policies import DelayScheduling, LocalityFirstPolicy
+from repro.core.scheduler import StageRunner
+from repro.core.task import SimTask, TaskQueue
+from repro.sim import Simulator
+
+
+def make_tasks(sim, n, duration=1.0, preferred=None, pinned=None):
+    def body_factory(i):
+        def factory(node):
+            def body(node=node):
+                yield sim.timeout(duration)
+            return body()
+        return factory
+
+    tasks = []
+    for i in range(n):
+        tasks.append(SimTask(
+            task_id=i, phase="compute", body=body_factory(i),
+            preferred=(preferred[i] if preferred else ()),
+            pinned=(pinned[i] if pinned else None)))
+    return tasks
+
+
+class TestTaskQueue:
+    def test_pop_any_fifo(self):
+        sim = Simulator()
+        tasks = make_tasks(sim, 3)
+        q = TaskQueue(tasks)
+        assert q.pop_any().task_id == 0
+        assert q.pop_any().task_id == 1
+        assert len(q) == 1
+
+    def test_pop_local_respects_preference(self):
+        sim = Simulator()
+        tasks = make_tasks(sim, 3, preferred=[(1,), (2,), (1,)])
+        q = TaskQueue(tasks)
+        assert q.pop_local(2).task_id == 1
+        assert q.pop_local(2) is None
+
+    def test_lazy_deletion_across_indexes(self):
+        sim = Simulator()
+        tasks = make_tasks(sim, 2, preferred=[(0,), (0,)])
+        q = TaskQueue(tasks)
+        t = q.pop_any()
+        assert t.task_id == 0
+        # Taken task must not be served through the locality index.
+        assert q.pop_local(0).task_id == 1
+        assert len(q) == 0
+
+    def test_pinned_only_via_pop_pinned(self):
+        sim = Simulator()
+        tasks = make_tasks(sim, 2, pinned=[1, None])
+        q = TaskQueue(tasks)
+        assert q.pop_any().task_id == 1
+        assert q.pop_pinned(1).task_id == 0
+        assert q.pop_pinned(1) is None
+
+    def test_has_helpers(self):
+        sim = Simulator()
+        tasks = make_tasks(sim, 2, preferred=[(3,), ()], pinned=[None, 2])
+        q = TaskQueue(tasks)
+        assert q.has_local(3) and not q.has_local(1)
+        assert q.has_pinned(2) and not q.has_pinned(3)
+
+
+class TestStageRunner:
+    def run_stage(self, sim, tasks, n_nodes=2, cores=2, policy=None,
+                  throttler=None, overhead=0.0):
+        runner = StageRunner(sim, n_nodes, cores, tasks,
+                             policy=policy or LocalityFirstPolicy(),
+                             throttler=throttler, task_overhead=overhead)
+        done = runner.run()
+        sim.run(until=done)
+        return runner
+
+    def test_all_tasks_run_exactly_once(self):
+        sim = Simulator()
+        runner = self.run_stage(sim, make_tasks(sim, 10))
+        assert len(runner.records) == 10
+        assert sorted(r.task_id for r in runner.records) == list(range(10))
+
+    def test_makespan_matches_slot_count(self):
+        sim = Simulator()
+        # 8 unit tasks over 2 nodes x 2 cores = 2 waves.
+        self.run_stage(sim, make_tasks(sim, 8, duration=1.0))
+        assert sim.now == pytest.approx(2.0)
+
+    def test_no_slot_oversubscription(self):
+        sim = Simulator()
+        runner = self.run_stage(sim, make_tasks(sim, 20), n_nodes=2, cores=3)
+        events = []
+        for r in runner.records:
+            events.append((r.started_at, 1, r.node))
+            events.append((r.finished_at, -1, r.node))
+        events.sort()
+        running = {0: 0, 1: 0}
+        for _, delta, node in events:
+            running[node] += delta
+            assert running[node] <= 3
+
+    def test_round_robin_initial_spread(self):
+        sim = Simulator()
+        runner = self.run_stage(sim, make_tasks(sim, 8), n_nodes=4, cores=4)
+        first_wave = [r for r in runner.records if r.started_at == 0.0]
+        nodes = {r.node for r in first_wave}
+        assert nodes == {0, 1, 2, 3}  # spread, not node-0-first
+
+    def test_pinned_tasks_run_on_their_node(self):
+        sim = Simulator()
+        tasks = make_tasks(sim, 6, pinned=[0, 1, 0, 1, 0, 1])
+        runner = self.run_stage(sim, tasks)
+        for r in runner.records:
+            assert r.node == r.task_id % 2
+
+    def test_task_overhead_applied(self):
+        sim = Simulator()
+        self.run_stage(sim, make_tasks(sim, 1, duration=1.0), overhead=0.5)
+        assert sim.now == pytest.approx(1.5)
+
+    def test_empty_stage_completes_immediately(self):
+        sim = Simulator()
+        runner = StageRunner(sim, 2, 2, [], policy=LocalityFirstPolicy())
+        done = runner.run()
+        assert done.triggered
+
+    def test_locality_recorded(self):
+        sim = Simulator()
+        tasks = make_tasks(sim, 2, preferred=[(0,), (0,)])
+        runner = self.run_stage(sim, tasks, n_nodes=2, cores=1)
+        locs = {r.task_id: r.local for r in runner.records}
+        assert locs[0] is True          # ran on its preferred node
+        assert locs[1] is False         # stolen by node 1 (no waiting)
+
+
+class TestDelayScheduling:
+    def test_waits_then_gives_up(self):
+        sim = Simulator()
+        # Both tasks prefer node 0; node 1 must wait out the delay.
+        tasks = make_tasks(sim, 2, duration=5.0, preferred=[(0,), (0,)])
+        policy = DelayScheduling(wait=1.0)
+        runner = StageRunner(sim, 2, 1, tasks, policy=policy)
+        done = runner.run()
+        sim.run(until=done)
+        by_id = {r.task_id: r for r in runner.records}
+        assert by_id[0].started_at == pytest.approx(0.0)
+        # Task 1 launched non-locally only after the 1 s wait.
+        assert by_id[1].started_at == pytest.approx(1.0)
+        assert by_id[1].local is False
+        assert policy.skipped > 0
+
+    def test_zero_wait_equals_immediate(self):
+        sim = Simulator()
+        tasks = make_tasks(sim, 2, duration=5.0, preferred=[(0,), (0,)])
+        runner = StageRunner(sim, 2, 1, tasks, policy=DelayScheduling(0.0))
+        done = runner.run()
+        sim.run(until=done)
+        assert max(r.started_at for r in runner.records) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DelayScheduling(wait=-1)
+
+
+class TestELB:
+    def test_saturated_node_vetoed(self):
+        data = np.array([100.0, 10.0, 10.0, 10.0])
+        elb = EnhancedLoadBalancer(LocalityFirstPolicy(), data,
+                                   threshold=0.25)
+        assert elb.saturated(0)
+        assert not elb.saturated(1)
+
+    def test_no_veto_before_any_data(self):
+        elb = EnhancedLoadBalancer(LocalityFirstPolicy(), np.zeros(4))
+        assert not elb.saturated(0)
+
+    def test_node_order_prefers_least_loaded(self):
+        data = np.array([30.0, 10.0, 20.0])
+        elb = EnhancedLoadBalancer(LocalityFirstPolicy(), data)
+        assert elb.node_order([0, 1, 2]) == [1, 2, 0]
+
+    def test_select_declines_on_saturated_node(self):
+        sim = Simulator()
+        data = np.array([100.0, 0.0])
+        elb = EnhancedLoadBalancer(LocalityFirstPolicy(), data)
+        q = TaskQueue(make_tasks(sim, 1))
+        assert elb.select(0, q, 0.0) is None
+        assert elb.vetoes == 1
+        assert elb.select(1, q, 0.0) is not None
+
+    def test_pinned_tasks_bypass_veto(self):
+        sim = Simulator()
+        data = np.array([100.0, 0.0])
+        elb = EnhancedLoadBalancer(LocalityFirstPolicy(), data)
+        q = TaskQueue(make_tasks(sim, 1, pinned=[0]))
+        assert elb.select(0, q, 0.0) is not None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnhancedLoadBalancer(LocalityFirstPolicy(), np.zeros(2),
+                                 threshold=-0.1)
+
+
+class TestCAD:
+    def test_no_throttle_initially(self):
+        cad = CongestionAwareDispatcher()
+        assert cad.ready(0, 0.0)
+        assert cad.delay == 0.0
+
+    def test_delay_grows_while_congested(self):
+        cad = CongestionAwareDispatcher(step=0.05, window=5)
+        for _ in range(5):
+            cad.on_complete(1.0)   # establishes the baseline
+        for _ in range(5):
+            cad.on_complete(3.0)   # sustained 3x congestion
+        assert cad.delay >= 0.05
+        assert cad.increases >= 1
+        before = cad.delay
+        for _ in range(5):
+            cad.on_complete(3.0)   # still congested: keeps backing off
+        assert cad.delay > before
+
+    def test_delay_shrinks_when_times_halve(self):
+        cad = CongestionAwareDispatcher(step=0.05, window=5)
+        for _ in range(5):
+            cad.on_complete(4.0)
+        for _ in range(5):
+            cad.on_complete(9.0)   # jump -> +step(s)
+        peak = cad.delay
+        assert peak > 0
+        for _ in range(10):
+            cad.on_complete(2.0)   # halved -> steps back down
+        assert cad.decreases >= 1
+        assert cad.delay < peak
+
+    def test_gating_after_launch(self):
+        cad = CongestionAwareDispatcher(step=0.05, window=2)
+        cad.delay = 0.1
+        cad.on_launch(3, now=10.0)
+        assert not cad.ready(3, 10.05)
+        assert cad.ready(3, 10.11)
+        assert cad.ready(4, 10.05)  # other nodes unaffected
+
+    def test_delay_capped(self):
+        cad = CongestionAwareDispatcher(step=1.0, window=1, max_delay=2.0)
+        cad.on_complete(1.0)
+        cad.on_complete(1.0)  # sets reference
+        for t in (10.0, 100.0, 1000.0, 10000.0):
+            cad.on_complete(t)
+        assert cad.delay <= 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CongestionAwareDispatcher(step=0)
+        with pytest.raises(ValueError):
+            CongestionAwareDispatcher(trigger_ratio=1.0)
+        with pytest.raises(ValueError):
+            CongestionAwareDispatcher(relax_ratio=1.5)
+        with pytest.raises(ValueError):
+            CongestionAwareDispatcher(window=0)
+
+    def test_throttler_in_stage_runner_spaces_launches(self):
+        sim = Simulator()
+        tasks = make_tasks(sim, 4, duration=0.01)
+        cad = CongestionAwareDispatcher(max_spacing=1.0)
+        cad.delay = 1.0  # pre-set: every launch arms a 1 s per-node gate
+        runner = StageRunner(sim, 1, 4, tasks, policy=LocalityFirstPolicy(),
+                             throttler=cad)
+        done = runner.run()
+        sim.run(until=done)
+        starts = sorted(r.started_at for r in runner.records)
+        gaps = [b - a for a, b in zip(starts, starts[1:])]
+        assert all(g >= 0.99 for g in gaps)
+
+    def test_throttler_caps_in_flight_tasks_when_congested(self):
+        sim = Simulator()
+        tasks = make_tasks(sim, 12, duration=1.0)
+        cad = CongestionAwareDispatcher(target_concurrency=2,
+                                        max_spacing=0.0001)
+        cad.delay = 0.05  # congestion already detected
+        runner = StageRunner(sim, 1, 8, tasks, policy=LocalityFirstPolicy(),
+                             throttler=cad)
+        done = runner.run()
+        sim.run(until=done)
+        events = []
+        for r in runner.records:
+            events.append((r.started_at, 1))
+            events.append((r.finished_at, -1))
+        events.sort()
+        running = 0
+        peak = 0
+        for _, d in events:
+            running += d
+            peak = max(peak, running)
+        assert peak <= 2

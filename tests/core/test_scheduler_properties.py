@@ -1,0 +1,110 @@
+"""Property-based tests on scheduler invariants (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policies import DelayScheduling, LocalityFirstPolicy
+from repro.core.scheduler import StageRunner
+from repro.core.speculation import SpeculativeExecution
+from repro.core.task import SimTask
+from repro.sim import Simulator
+
+
+def build_tasks(sim, durations, prefs, n_nodes):
+    tasks = []
+    for i, (dur, pref) in enumerate(zip(durations, prefs)):
+        def factory(node, dur=dur):
+            def body():
+                yield sim.timeout(dur)
+            return body()
+
+        preferred = (pref % n_nodes,) if pref is not None else ()
+        tasks.append(SimTask(task_id=i, phase="compute", body=factory,
+                             preferred=preferred))
+    return tasks
+
+
+task_sets = st.lists(
+    st.tuples(st.floats(min_value=0.01, max_value=5.0),
+              st.one_of(st.none(), st.integers(0, 7))),
+    min_size=1, max_size=40)
+
+
+@given(task_sets, st.integers(2, 4), st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_every_task_runs_exactly_once(task_set, n_nodes, cores):
+    sim = Simulator()
+    durations = [d for d, _ in task_set]
+    prefs = [p for _, p in task_set]
+    tasks = build_tasks(sim, durations, prefs, n_nodes)
+    runner = StageRunner(sim, n_nodes, cores, tasks,
+                         policy=LocalityFirstPolicy())
+    done = runner.run()
+    sim.run(until=done)
+    assert sorted(r.task_id for r in runner.records) == \
+        list(range(len(tasks)))
+
+
+@given(task_sets, st.integers(2, 4), st.integers(1, 3),
+       st.floats(min_value=0.0, max_value=2.0))
+@settings(max_examples=40, deadline=None)
+def test_no_oversubscription_under_delay_scheduling(task_set, n_nodes,
+                                                    cores, wait):
+    sim = Simulator()
+    durations = [d for d, _ in task_set]
+    prefs = [p for _, p in task_set]
+    tasks = build_tasks(sim, durations, prefs, n_nodes)
+    runner = StageRunner(sim, n_nodes, cores, tasks,
+                         policy=DelayScheduling(wait=wait))
+    done = runner.run()
+    sim.run(until=done)
+    # Reconstruct per-node concurrency from the records.
+    for node in range(n_nodes):
+        events = []
+        for r in runner.records:
+            if r.node == node:
+                events.append((r.started_at, 1))
+                events.append((r.finished_at, -1))
+        events.sort()
+        running = 0
+        for _, d in events:
+            running += d
+            assert running <= cores
+
+
+@given(task_sets, st.integers(2, 4))
+@settings(max_examples=30, deadline=None)
+def test_delay_scheduling_never_beats_immediate(task_set, n_nodes):
+    """Delay scheduling can only hold work back: its makespan is never
+    (meaningfully) shorter than immediate scheduling for equal inputs."""
+
+    def run(policy_factory):
+        sim = Simulator()
+        durations = [d for d, _ in task_set]
+        prefs = [p for _, p in task_set]
+        tasks = build_tasks(sim, durations, prefs, n_nodes)
+        runner = StageRunner(sim, n_nodes, 2, tasks,
+                             policy=policy_factory())
+        done = runner.run()
+        sim.run(until=done)
+        return sim.now
+
+    immediate = run(LocalityFirstPolicy)
+    delayed = run(lambda: DelayScheduling(wait=3.0))
+    assert delayed >= immediate - 1e-9
+
+
+@given(task_sets, st.integers(2, 4))
+@settings(max_examples=25, deadline=None)
+def test_speculation_preserves_exactly_once_records(task_set, n_nodes):
+    sim = Simulator()
+    durations = [d for d, _ in task_set]
+    prefs = [p for _, p in task_set]
+    tasks = build_tasks(sim, durations, prefs, n_nodes)
+    runner = StageRunner(
+        sim, n_nodes, 2, tasks, policy=LocalityFirstPolicy(),
+        speculation=SpeculativeExecution(quantile=0.5, multiplier=1.2))
+    done = runner.run()
+    sim.run(until=done)
+    assert sorted(r.task_id for r in runner.records) == \
+        list(range(len(tasks)))

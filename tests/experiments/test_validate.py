@@ -1,0 +1,88 @@
+"""Tests for the claims validator (fast: synthetic experiment results)."""
+
+import math
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.validate import CLAIMS, render_report
+
+
+def claim(claim_id):
+    match = [c for c in CLAIMS if c.claim_id == claim_id]
+    assert match, f"no claim {claim_id}"
+    return match[0]
+
+
+def fig05_result(grep_ratio, lr_ratio):
+    r = ExperimentResult("fig05", "t",
+                         headers=["benchmark", "split_MB", "hdfs_s",
+                                  "lustre_s", "lustre/hdfs"])
+    for split in (32.0, 64.0, 128.0):
+        r.add("grep", split, 1.0, grep_ratio, grep_ratio)
+        r.add("lr", split, 10.0, 10 * lr_ratio, lr_ratio)
+    return r
+
+
+class TestClaimPredicates:
+    def test_fig05_grep_claim(self):
+        c = claim("fig05-grep")
+        assert c.check(fig05_result(5.0, 0.95))
+        assert not c.check(fig05_result(1.2, 0.95))
+        assert not c.check(fig05_result(50.0, 0.95))  # implausibly large
+
+    def test_fig05_lr_claim(self):
+        c = claim("fig05-lr")
+        assert c.check(fig05_result(5.0, 0.95))
+        assert not c.check(fig05_result(5.0, 1.5))
+
+    def test_fig09_claims(self):
+        r = ExperimentResult("fig09", "t",
+                             headers=["benchmark", "split_MB",
+                                      "immediate_s", "delay_s",
+                                      "degradation_%"])
+        r.add("grep", 32.0, 1.0, 1.4, 40.0)
+        r.add("lr", 32.0, 10.0, 11.0, 10.0)
+        assert claim("fig09-grep").check(r)
+        assert claim("fig09-order").check(r)
+        r2 = ExperimentResult("fig09", "t", headers=r.headers)
+        r2.add("grep", 32.0, 1.0, 1.05, 5.0)
+        r2.add("lr", 32.0, 10.0, 11.0, 10.0)
+        assert not claim("fig09-grep").check(r2)
+        assert not claim("fig09-order").check(r2)
+
+    def test_fig08_capacity_claim(self):
+        headers = ["data_GB(paper)", "ramdisk_s", "ssd_s", "ssd/ramdisk",
+                   "c", "s", "f", "spread"]
+        r = ExperimentResult("fig08", "t", headers=headers)
+        r.add(100.0, 1.0, 1.05, 1.05, 0, 0, 0, 1.1)
+        r.add(1536.0, float("nan"), 90.0, float("nan"), 0, 0, 0, 25.0)
+        assert claim("fig08-capacity").check(r)
+        assert claim("fig08-cache").check(r)
+        assert claim("fig08-spread").check(r)
+
+    def test_measure_strings_are_informative(self):
+        r = fig05_result(5.26, 0.96)
+        assert "5.26x" in claim("fig05-grep").measure(r)
+        assert "0.96" in claim("fig05-lr").measure(r)
+
+    def test_every_claim_has_distinct_id(self):
+        ids = [c.claim_id for c in CLAIMS]
+        assert len(ids) == len(set(ids))
+
+    def test_claims_cover_all_major_artifacts(self):
+        experiments = {c.experiment for c in CLAIMS}
+        assert {"table1", "fig05", "fig07", "fig08", "fig09", "fig12",
+                "fig13", "fig14"} <= experiments
+
+
+class TestReport:
+    def test_render_report(self):
+        report = [{"id": "a", "paper": "claim A", "measured": "1.0x",
+                   "pass": True},
+                  {"id": "b", "paper": "claim B", "measured": "err",
+                   "pass": False}]
+        text = render_report(report)
+        assert "[PASS] a" in text
+        assert "[FAIL] b" in text
+        assert "1/2 claims reproduced" in text

@@ -1,0 +1,124 @@
+"""Tests for the HDFS model."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, hyperion
+from repro.hdfs.namenode import NameNode
+
+GB = 1024.0 ** 3
+MB = 1024.0 ** 2
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(hyperion(4), seed=0)
+
+
+class TestNameNode:
+    def test_file_split_into_blocks(self):
+        nn = NameNode(n_nodes=4, block_size=128 * MB)
+        blocks = nn.create_file("input", 300 * MB)
+        assert len(blocks) == 3
+        assert blocks[0].size == 128 * MB
+        assert blocks[-1].size == pytest.approx(44 * MB)
+        assert nn.file_size("input") == pytest.approx(300 * MB)
+
+    def test_roundrobin_placement_is_balanced(self):
+        nn = NameNode(n_nodes=4, block_size=MB)
+        blocks = nn.create_file("f", 40 * MB, rng=np.random.default_rng(0))
+        counts = [0] * 4
+        for b in blocks:
+            counts[b.locations[0]] += 1
+        assert counts == [10, 10, 10, 10]
+
+    def test_replication_places_distinct_nodes(self):
+        nn = NameNode(n_nodes=4, block_size=MB, replication=3)
+        blocks = nn.create_file("f", 5 * MB, rng=np.random.default_rng(0))
+        for b in blocks:
+            assert len(set(b.locations)) == 3
+
+    def test_duplicate_file_rejected(self):
+        nn = NameNode(n_nodes=2, block_size=MB)
+        nn.create_file("f", MB)
+        with pytest.raises(ValueError):
+            nn.create_file("f", MB)
+
+    def test_missing_file_raises(self):
+        nn = NameNode(n_nodes=2, block_size=MB)
+        with pytest.raises(KeyError):
+            nn.blocks_of("ghost")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NameNode(n_nodes=0, block_size=MB)
+        with pytest.raises(ValueError):
+            NameNode(n_nodes=2, block_size=0)
+        with pytest.raises(ValueError):
+            NameNode(n_nodes=2, block_size=MB, replication=3)
+
+    def test_blocks_on_node(self):
+        nn = NameNode(n_nodes=2, block_size=MB)
+        nn.create_file("f", 4 * MB, rng=np.random.default_rng(1))
+        assert len(nn.blocks_on_node(0)) + len(nn.blocks_on_node(1)) == 4
+
+
+class TestReads:
+    def test_local_read_uses_ramdisk_speed(self, cluster):
+        sim = cluster.sim
+        blocks = cluster.hdfs.ingest("f", 128 * MB,
+                                     rng=np.random.default_rng(0))
+        b = blocks[0]
+        reader = b.locations[0]
+        done = cluster.hdfs.read_block(reader, b)
+        sim.run(until=done)
+        # 128 MB at 4 GB/s RAMDisk read.
+        assert sim.now == pytest.approx(128 * MB / (4 * GB), rel=0.05)
+        assert cluster.hdfs.local_reads == 1
+
+    def test_remote_read_crosses_fabric(self, cluster):
+        sim = cluster.sim
+        blocks = cluster.hdfs.ingest("f", 128 * MB,
+                                     rng=np.random.default_rng(0))
+        b = blocks[0]
+        reader = (b.locations[0] + 1) % cluster.n_nodes
+        done = cluster.hdfs.read_block(reader, b)
+        sim.run(until=done)
+        assert cluster.hdfs.remote_reads == 1
+        assert cluster.hdfs.bytes_remote == pytest.approx(128 * MB)
+        # NIC 4 GB/s == RAMDisk read rate: comparable to a local read
+        # (this is what makes locality non-critical on this fabric).
+        assert sim.now < 2 * (128 * MB / (4 * GB)) + 0.001
+
+    def test_remote_read_capped_by_source_disk(self):
+        cluster = Cluster(hyperion(2), seed=0, hdfs_volume="ssd")
+        sim = cluster.sim
+        blocks = cluster.hdfs.ingest("f", 100 * MB,
+                                     rng=np.random.default_rng(0))
+        b = blocks[0]
+        reader = (b.locations[0] + 1) % 2
+        done = cluster.hdfs.read_block(reader, b)
+        sim.run(until=done)
+        # Capped by SSD read bandwidth (507 MB/s), not the 4 GB/s NIC.
+        assert sim.now == pytest.approx(100 / 507, rel=0.05)
+
+    def test_ingest_with_space_accounting_enforces_capacity(self):
+        cluster = Cluster(hyperion(2), seed=0)
+        from repro.storage import DeviceFullError
+        with pytest.raises(DeviceFullError):
+            # 2 nodes x 32 GB RAMDisk = 64 GB total; 100 GB cannot fit.
+            cluster.hdfs.ingest("huge", 100 * GB,
+                                rng=np.random.default_rng(0),
+                                account_space=True)
+
+    def test_is_local(self, cluster):
+        blocks = cluster.hdfs.ingest("f", 128 * MB,
+                                     rng=np.random.default_rng(0))
+        b = blocks[0]
+        assert cluster.hdfs.is_local(b.locations[0], b)
+        assert not cluster.hdfs.is_local((b.locations[0] + 1) % 4, b)
+
+    def test_invalid_reader_rejected(self, cluster):
+        blocks = cluster.hdfs.ingest("f", MB, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            cluster.hdfs.read_block(99, blocks[0])

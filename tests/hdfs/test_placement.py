@@ -1,0 +1,59 @@
+"""Tests for HDFS placement policies (incl. the ingest-skew model)."""
+
+import numpy as np
+import pytest
+
+from repro.hdfs.namenode import NameNode
+
+MB = 1024.0 ** 2
+
+
+def counts_for(placement, n_nodes=10, n_blocks=1000, seed=0):
+    nn = NameNode(n_nodes=n_nodes, block_size=MB)
+    blocks = nn.create_file("f", n_blocks * MB,
+                            rng=np.random.default_rng(seed),
+                            placement=placement)
+    counts = np.zeros(n_nodes)
+    for b in blocks:
+        counts[b.locations[0]] += 1
+    return counts
+
+
+class TestSkewedPlacement:
+    def test_skewed_is_more_imbalanced_than_random(self):
+        skewed = counts_for("skewed")
+        random = counts_for("random")
+        assert skewed.max() / skewed.mean() > random.max() / random.mean()
+
+    def test_skewed_covers_many_nodes(self):
+        """Hotspots, not a single-node pileup."""
+        counts = counts_for("skewed")
+        assert (counts > 0).sum() >= 8
+
+    def test_skewed_hot_node_factor(self):
+        """The gateway-ingest model concentrates roughly 1.5-4x the mean
+        on the hottest DataNode (what drives Fig 9's Grep asymmetry)."""
+        counts = counts_for("skewed")
+        assert 1.3 < counts.max() / counts.mean() < 5.0
+
+    def test_skewed_hotspots_differ_by_seed(self):
+        a = counts_for("skewed", seed=1)
+        b = counts_for("skewed", seed=2)
+        assert int(a.argmax()) != int(b.argmax()) or \
+            not np.allclose(a, b)
+
+    def test_unknown_placement_rejected(self):
+        nn = NameNode(n_nodes=2, block_size=MB)
+        with pytest.raises(ValueError):
+            nn.create_file("f", MB, placement="chaotic")
+
+
+class TestRoundRobinDeterminism:
+    def test_same_rng_same_layout(self):
+        a = counts_for("roundrobin", seed=5)
+        b = counts_for("roundrobin", seed=5)
+        assert np.allclose(a, b)
+
+    def test_roundrobin_perfectly_even(self):
+        counts = counts_for("roundrobin", n_nodes=10, n_blocks=1000)
+        assert counts.max() == counts.min() == 100

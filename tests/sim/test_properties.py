@@ -1,0 +1,117 @@
+"""Property-based tests for the simulation kernel (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import FluidPipe, Resource, Simulator
+from repro.sim.fluid import fair_share
+from repro.sim.rng import RandomStreams
+
+
+@given(st.lists(st.floats(min_value=0.001, max_value=100.0), min_size=0,
+                max_size=30),
+       st.floats(min_value=0.1, max_value=1e6))
+def test_fair_share_never_exceeds_caps_or_capacity(caps, capacity):
+    rates = fair_share(capacity, caps)
+    assert len(rates) == len(caps)
+    for r, c in zip(rates, caps):
+        assert r <= c + 1e-9
+        assert r >= 0.0
+    assert sum(rates) <= capacity + 1e-6
+
+
+@given(st.lists(st.floats(min_value=0.001, max_value=100.0), min_size=1,
+                max_size=30),
+       st.floats(min_value=0.1, max_value=1e6))
+def test_fair_share_work_conserving(caps, capacity):
+    rates = fair_share(capacity, caps)
+    # Either everyone hit their cap, or capacity is exhausted.
+    total = sum(rates)
+    all_capped = all(abs(r - c) < 1e-9 for r, c in zip(rates, caps))
+    assert all_capped or math.isclose(total, capacity, rel_tol=1e-6)
+
+
+@given(st.lists(st.floats(min_value=1.0, max_value=1e6), min_size=1,
+                max_size=25),
+       st.floats(min_value=1.0, max_value=1e6))
+@settings(max_examples=50, deadline=None)
+def test_fluid_pipe_conserves_bytes(sizes, capacity):
+    sim = Simulator()
+    pipe = FluidPipe(sim, capacity=capacity)
+    for s in sizes:
+        pipe.transfer(s)
+    sim.run()
+    assert math.isclose(pipe.bytes_completed, sum(sizes), rel_tol=1e-6)
+    assert pipe.n_active == 0
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0.0, max_value=10.0),
+                          st.floats(min_value=1.0, max_value=1000.0)),
+                min_size=1, max_size=20),
+       st.floats(min_value=1.0, max_value=1e4))
+@settings(max_examples=50, deadline=None)
+def test_fluid_pipe_staggered_arrivals_conserve(arrivals, capacity):
+    sim = Simulator()
+    pipe = FluidPipe(sim, capacity=capacity)
+    total = 0.0
+    for start, size in arrivals:
+        total += size
+        sim.schedule_callback(start, pipe.transfer, size)
+    sim.run()
+    assert math.isclose(pipe.bytes_completed, total, rel_tol=1e-6)
+
+
+@given(st.integers(min_value=1, max_value=8),
+       st.lists(st.floats(min_value=0.01, max_value=2.0), min_size=1,
+                max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_resource_never_oversubscribed(capacity, holds):
+    sim = Simulator()
+    res = Resource(sim, capacity=capacity)
+    observed = []
+    completed = []
+
+    def user(hold):
+        with res.request() as req:
+            yield req
+            observed.append(res.count)
+            yield sim.timeout(hold)
+        completed.append(1)
+
+    for h in holds:
+        sim.process(user(h))
+    sim.run()
+    assert max(observed) <= capacity
+    assert len(completed) == len(holds)  # nobody starves
+
+
+@given(st.floats(min_value=0.0, max_value=100.0),
+       st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1,
+                max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_clock_monotone_under_arbitrary_callbacks(base, delays):
+    sim = Simulator(start=base)
+    stamps = []
+    for d in delays:
+        sim.schedule_callback(d, lambda: stamps.append(sim.now))
+    sim.run()
+    assert stamps == sorted(stamps)
+    assert all(s >= base for s in stamps)
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1), st.text(min_size=1,
+                                                              max_size=20))
+def test_rng_streams_reproducible(seed, name):
+    a = RandomStreams(seed).stream(name).random(5)
+    b = RandomStreams(seed).stream(name).random(5)
+    assert (a == b).all()
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_rng_streams_independent_by_name(seed):
+    rs = RandomStreams(seed)
+    a = rs.stream("alpha").random(5)
+    b = rs.stream("beta").random(5)
+    assert not (a == b).all()

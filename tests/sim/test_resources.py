@@ -1,0 +1,221 @@
+"""Tests for Resource / Container / Store."""
+
+import pytest
+
+from repro.sim import Container, Resource, Simulator, Store
+
+
+class TestResource:
+    def test_capacity_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    def test_immediate_grant_under_capacity(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        r1, r2 = res.request(), res.request()
+        assert r1.triggered and r2.triggered
+        assert res.count == 2
+
+    def test_queueing_and_fifo_grant(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def user(uid, hold):
+            with res.request() as req:
+                yield req
+                order.append(("acq", uid, sim.now))
+                yield sim.timeout(hold)
+            order.append(("rel", uid, sim.now))
+
+        for uid in range(3):
+            sim.process(user(uid, 1.0))
+        sim.run()
+        acquires = [e for e in order if e[0] == "acq"]
+        assert [a[1] for a in acquires] == [0, 1, 2]
+        assert [a[2] for a in acquires] == [0.0, 1.0, 2.0]
+
+    def test_release_ungranted_request_cancels(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        held = res.request()
+        waiting = res.request()
+        assert not waiting.triggered
+        res.release(waiting)  # cancel from queue
+        res.release(held)
+        assert res.count == 0
+        assert not waiting.triggered
+
+    def test_context_manager_releases_on_exception(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+
+        def bad_user():
+            with res.request() as req:
+                yield req
+                raise RuntimeError("die")
+
+        def next_user(log):
+            with res.request() as req:
+                yield req
+                log.append(sim.now)
+
+        log = []
+        p = sim.process(bad_user())
+        sim.process(next_user(log))
+        with pytest.raises(RuntimeError):
+            sim.run()
+        sim.run()
+        assert log == [0.0]
+
+    def test_no_oversubscription_under_churn(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=3)
+        peak = []
+
+        def user(hold):
+            with res.request() as req:
+                yield req
+                peak.append(res.count)
+                yield sim.timeout(hold)
+
+        for i in range(20):
+            sim.process(user(0.1 + (i % 5) * 0.05))
+        sim.run()
+        assert max(peak) <= 3
+        assert len(peak) == 20
+
+
+class TestContainer:
+    def test_init_level(self):
+        sim = Simulator()
+        c = Container(sim, capacity=10, init=4)
+        assert c.level == 4
+
+    def test_invalid_init(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Container(sim, capacity=10, init=11)
+        with pytest.raises(ValueError):
+            Container(sim, capacity=0)
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        c = Container(sim, capacity=100)
+        times = []
+
+        def consumer():
+            yield c.get(5)
+            times.append(sim.now)
+
+        def producer():
+            yield sim.timeout(2.0)
+            yield c.put(5)
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert times == [2.0]
+        assert c.level == 0
+
+    def test_put_blocks_at_capacity(self):
+        sim = Simulator()
+        c = Container(sim, capacity=10, init=8)
+        times = []
+
+        def producer():
+            yield c.put(5)  # needs 3 units drained first
+            times.append(sim.now)
+
+        def consumer():
+            yield sim.timeout(1.0)
+            yield c.get(4)
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert times == [1.0]
+        assert c.level == 9
+
+    def test_negative_amounts_rejected(self):
+        sim = Simulator()
+        c = Container(sim, capacity=10)
+        with pytest.raises(ValueError):
+            c.put(-1)
+        with pytest.raises(ValueError):
+            c.get(-1)
+
+    def test_get_more_than_capacity_rejected(self):
+        sim = Simulator()
+        c = Container(sim, capacity=10)
+        with pytest.raises(ValueError):
+            c.get(11)
+
+
+class TestStore:
+    def test_fifo_ordering(self):
+        sim = Simulator()
+        s = Store(sim)
+        got = []
+
+        def producer():
+            for i in range(3):
+                yield s.put(i)
+                yield sim.timeout(1.0)
+
+        def consumer():
+            for _ in range(3):
+                item = yield s.get()
+                got.append(item)
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert got == [0, 1, 2]
+
+    def test_capacity_blocks_putter(self):
+        sim = Simulator()
+        s = Store(sim, capacity=1)
+        times = []
+
+        def producer():
+            yield s.put("a")
+            yield s.put("b")
+            times.append(sim.now)
+
+        def consumer():
+            yield sim.timeout(3.0)
+            yield s.get()
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert times == [3.0]
+
+    def test_get_blocks_on_empty(self):
+        sim = Simulator()
+        s = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield s.get()
+            got.append((sim.now, item))
+
+        def producer():
+            yield sim.timeout(5.0)
+            yield s.put("x")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == [(5.0, "x")]
+
+    def test_len(self):
+        sim = Simulator()
+        s = Store(sim)
+        s.put(1)
+        s.put(2)
+        sim.run()
+        assert len(s) == 2

@@ -1,0 +1,95 @@
+"""Tests for BlockDevice and RamDisk."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.storage import BlockDevice, DeviceFullError, RamDisk
+from repro.storage.device import GB, MB
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestBlockDevice:
+    def test_write_at_peak_bandwidth(self, sim):
+        dev = BlockDevice(sim, read_bw=100 * MB, write_bw=50 * MB)
+        done = dev.write(100 * MB)
+        sim.run(until=done)
+        assert sim.now == pytest.approx(2.0)
+
+    def test_read_at_peak_bandwidth(self, sim):
+        dev = BlockDevice(sim, read_bw=100 * MB, write_bw=50 * MB)
+        done = dev.read(200 * MB)
+        sim.run(until=done)
+        assert sim.now == pytest.approx(2.0)
+
+    def test_reads_and_writes_independent_channels(self, sim):
+        dev = BlockDevice(sim, read_bw=100 * MB, write_bw=100 * MB)
+        r = dev.read(100 * MB)
+        w = dev.write(100 * MB)
+        sim.run()
+        # Full duplex: neither slows the other.
+        assert r.triggered and w.triggered
+        assert sim.now == pytest.approx(1.0)
+
+    def test_concurrent_writes_share_bandwidth(self, sim):
+        dev = BlockDevice(sim, read_bw=100 * MB, write_bw=100 * MB)
+        w1 = dev.write(100 * MB)
+        w2 = dev.write(100 * MB)
+        sim.run(until=w1)
+        assert sim.now == pytest.approx(2.0)
+        assert w2.triggered
+
+    def test_capacity_enforced(self, sim):
+        dev = BlockDevice(sim, read_bw=GB, write_bw=GB, capacity_bytes=GB)
+        dev.write(0.7 * GB)
+        with pytest.raises(DeviceFullError):
+            dev.write(0.5 * GB)
+
+    def test_release_frees_space(self, sim):
+        dev = BlockDevice(sim, read_bw=GB, write_bw=GB, capacity_bytes=GB)
+        dev.write(0.8 * GB)
+        dev.release(0.5 * GB)
+        dev.write(0.5 * GB)  # should not raise
+        assert dev.used_bytes == pytest.approx(0.8 * GB)
+
+    def test_large_write_is_chunked_but_exact(self, sim):
+        dev = BlockDevice(sim, read_bw=GB, write_bw=100 * MB,
+                          chunk_bytes=32 * MB)
+        done = dev.write(300 * MB)
+        sim.run(until=done)
+        assert sim.now == pytest.approx(3.0)
+        assert dev.bytes_written == pytest.approx(300 * MB)
+
+    def test_negative_io_rejected(self, sim):
+        dev = BlockDevice(sim, read_bw=GB, write_bw=GB)
+        with pytest.raises(ValueError):
+            dev.write(-1)
+        with pytest.raises(ValueError):
+            dev.read(-1)
+
+    def test_invalid_bandwidth_rejected(self, sim):
+        with pytest.raises(ValueError):
+            BlockDevice(sim, read_bw=0, write_bw=GB)
+
+
+class TestRamDisk:
+    def test_hyperion_defaults(self, sim):
+        rd = RamDisk(sim)
+        assert rd.capacity_bytes == 32 * GB
+        assert rd.peak_read_bw == 4.0 * GB
+        assert rd.peak_write_bw == 2.5 * GB
+
+    def test_ramdisk_capacity_limit(self, sim):
+        rd = RamDisk(sim, capacity_bytes=GB)
+        rd.write(0.9 * GB)
+        with pytest.raises(DeviceFullError):
+            rd.write(0.2 * GB)
+
+    def test_ramdisk_is_fast(self, sim):
+        rd = RamDisk(sim)
+        done = rd.write(2.5 * GB)
+        sim.run(until=done)
+        assert sim.now == pytest.approx(1.0)

@@ -1,0 +1,126 @@
+"""Tests for the page cache and LocalVolume."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.storage import BlockDevice, LocalVolume, PageCache
+from repro.storage.device import GB, MB
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def make_pc(sim, **kw):
+    dev = BlockDevice(sim, read_bw=100 * MB, write_bw=100 * MB, name="slow")
+    kw.setdefault("memory_bw", 1000 * MB)
+    kw.setdefault("cache_bytes", 1 * GB)
+    kw.setdefault("dirty_limit_bytes", 512 * MB)
+    return dev, PageCache(sim, dev, **kw)
+
+
+class TestWrites:
+    def test_small_write_absorbed_at_memory_speed(self, sim):
+        dev, pc = make_pc(sim)
+        done = pc.write(100 * MB, "f1")
+        sim.run(until=done)
+        # 100 MB at 1000 MB/s memory speed, not 100 MB/s device speed.
+        assert sim.now == pytest.approx(0.1, rel=1e-2)
+        assert pc.bytes_absorbed == pytest.approx(100 * MB)
+
+    def test_write_beyond_dirty_limit_throttled(self, sim):
+        dev, pc = make_pc(sim)
+        done = pc.write(1024 * MB, "f1")
+        sim.run(until=done)
+        # 512 MB fast, 512 MB at device speed (shared with writeback).
+        assert pc.bytes_throttled == pytest.approx(512 * MB)
+        assert sim.now > 5.0  # must include device-speed time
+
+    def test_writeback_eventually_cleans_dirty(self, sim):
+        dev, pc = make_pc(sim)
+        sim.run(until=pc.write(256 * MB, "f1"))
+        sim.run()  # let background writeback finish
+        assert pc.dirty == pytest.approx(0.0, abs=1.0)
+        assert dev.bytes_written == pytest.approx(256 * MB, rel=1e-6)
+
+    def test_flush_event(self, sim):
+        dev, pc = make_pc(sim)
+        sim.run(until=pc.write(256 * MB, "f1"))
+        flushed = pc.flush()
+        sim.run(until=flushed)
+        assert pc.dirty == pytest.approx(0.0, abs=1.0)
+
+    def test_flush_when_clean_is_immediate(self, sim):
+        dev, pc = make_pc(sim)
+        ev = pc.flush()
+        assert ev.triggered
+
+    def test_negative_write_rejected(self, sim):
+        dev, pc = make_pc(sim)
+        with pytest.raises(ValueError):
+            pc.write(-1, "f")
+
+
+class TestReads:
+    def test_read_hit_at_memory_speed(self, sim):
+        dev, pc = make_pc(sim)
+        sim.run(until=pc.write(100 * MB, "f1"))
+        start = sim.now
+        sim.run(until=pc.read(100 * MB, "f1"))
+        assert sim.now - start == pytest.approx(0.1, rel=1e-2)
+        assert pc.read_hits == pytest.approx(100 * MB)
+
+    def test_read_miss_goes_to_device(self, sim):
+        dev, pc = make_pc(sim)
+        done = pc.read(100 * MB, "not-cached")
+        sim.run(until=done)
+        assert sim.now == pytest.approx(1.0, rel=1e-2)
+        assert pc.read_misses == pytest.approx(100 * MB)
+
+    def test_read_miss_populates_cache(self, sim):
+        dev, pc = make_pc(sim)
+        sim.run(until=pc.read(100 * MB, "f1"))
+        assert pc.cached_bytes_of("f1") == pytest.approx(100 * MB)
+
+    def test_lru_eviction(self, sim):
+        dev, pc = make_pc(sim, cache_bytes=300 * MB, dirty_limit_bytes=290 * MB)
+        sim.run(until=pc.write(200 * MB, "old"))
+        sim.run()
+        sim.run(until=pc.write(200 * MB, "new"))
+        sim.run()
+        # "old" must have been (partially) evicted to fit "new".
+        assert pc.resident_bytes <= 300 * MB + 1.0
+        assert pc.cached_bytes_of("new") == pytest.approx(200 * MB)
+        assert pc.cached_bytes_of("old") < 200 * MB
+
+    def test_invalidate(self, sim):
+        dev, pc = make_pc(sim)
+        sim.run(until=pc.write(50 * MB, "f1"))
+        pc.invalidate("f1")
+        assert pc.cached_bytes_of("f1") == 0.0
+
+
+class TestLocalVolume:
+    def test_volume_without_cache_hits_device(self, sim):
+        dev = BlockDevice(sim, read_bw=100 * MB, write_bw=100 * MB)
+        vol = LocalVolume(sim, dev, use_page_cache=False)
+        done = vol.write(100 * MB, "f")
+        sim.run(until=done)
+        assert sim.now == pytest.approx(1.0)
+
+    def test_volume_with_cache_is_faster(self, sim):
+        dev = BlockDevice(sim, read_bw=100 * MB, write_bw=100 * MB)
+        vol = LocalVolume(sim, dev, use_page_cache=True,
+                          memory_bw=1000 * MB, cache_bytes=GB)
+        done = vol.write(100 * MB, "f")
+        sim.run(until=done)
+        assert sim.now < 0.5
+
+    def test_volume_accounts_capacity(self, sim):
+        dev = BlockDevice(sim, read_bw=GB, write_bw=GB, capacity_bytes=GB)
+        vol = LocalVolume(sim, dev, use_page_cache=True)
+        vol.write(0.5 * GB, "a")
+        assert vol.used_bytes == pytest.approx(0.5 * GB)
+        vol.delete(0.5 * GB, "a")
+        assert vol.used_bytes == pytest.approx(0.0)

@@ -1,0 +1,102 @@
+"""Tests for the SSD garbage-collection model."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.storage import SSDDevice
+from repro.storage.device import GB, MB
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def make_ssd(sim, **kw):
+    kw.setdefault("clean_pool_bytes", 1 * GB)
+    kw.setdefault("capacity_bytes", 128 * GB)
+    return SSDDevice(sim, **kw)
+
+
+class TestEras:
+    def test_fresh_ssd_writes_at_peak(self, sim):
+        ssd = make_ssd(sim)
+        done = ssd.write(387 * MB)
+        sim.run(until=done)
+        assert sim.now == pytest.approx(1.0, rel=1e-3)
+        assert not ssd.gc_active
+
+    def test_gc_activates_after_clean_pool(self, sim):
+        ssd = make_ssd(sim)
+        done = ssd.write(2 * GB)
+        sim.run(until=done)
+        assert ssd.gc_active
+        assert ssd.gc_pressure == pytest.approx(1.0)
+
+    def test_gc_era_slower_than_fresh_era(self, sim):
+        ssd = make_ssd(sim)
+        d1 = ssd.write(1 * GB)
+        sim.run(until=d1)
+        t_fresh = sim.now
+        d2 = ssd.write(1 * GB)
+        sim.run(until=d2)
+        t_gc = sim.now - t_fresh
+        assert t_gc > 1.5 * t_fresh
+
+    def test_efficiency_decays_with_pressure(self, sim):
+        ssd = make_ssd(sim, min_era_efficiency=0.0)
+        assert ssd.era_efficiency() == 1.0
+        sim.run(until=ssd.write(3 * GB))
+        eff_low = ssd.era_efficiency()
+        sim.run(until=ssd.write(3 * GB))
+        eff_high = ssd.era_efficiency()
+        assert eff_high < eff_low < ssd.gc_base_efficiency + 1e-9
+
+
+class TestInterference:
+    def test_no_interference_before_gc(self, sim):
+        ssd = make_ssd(sim)
+        assert ssd.interference(16) == 1.0
+
+    def test_interference_beyond_knee_when_gc_active(self, sim):
+        ssd = make_ssd(sim)
+        sim.run(until=ssd.write(2 * GB))
+        assert ssd.gc_active
+        assert ssd.interference(ssd.interference_knee) == 1.0
+        assert ssd.interference(ssd.interference_knee + 4) < 1.0
+
+    def test_interference_floor(self, sim):
+        ssd = make_ssd(sim)
+        sim.run(until=ssd.write(2 * GB))
+        assert ssd.interference(1000) == ssd.interference_floor
+
+    def test_throttling_improves_aggregate_throughput_in_gc_era(self, sim):
+        """The CAD premise: fewer concurrent writers -> more total bytes/s."""
+
+        def run(concurrency):
+            s = Simulator()
+            ssd = make_ssd(s, interference_slope=0.08)
+            s.run(until=ssd.write(2 * GB))  # enter GC era
+            start = s.now
+            per = 512 * MB
+            done = [ssd.write(per) for _ in range(concurrency)]
+            s.run(until=s.all_of(done))
+            return concurrency * per / (s.now - start)
+
+        assert run(2) > run(16)
+
+
+class TestReads:
+    def test_reads_mildly_penalised_in_gc_era(self, sim):
+        ssd = make_ssd(sim)
+        d = ssd.read(507 * MB)
+        sim.run(until=d)
+        t_fresh = sim.now
+        sim.run(until=ssd.write(2 * GB))
+        start = sim.now
+        sim.run(until=ssd.read(507 * MB))
+        t_gc = sim.now - start
+        assert t_fresh == pytest.approx(1.0, rel=1e-3)
+        assert t_gc == pytest.approx(1.0 / ssd.read_gc_penalty, rel=1e-2)
+        # "Moderate" variation: nothing like the write-side collapse.
+        assert t_gc < 1.5 * t_fresh

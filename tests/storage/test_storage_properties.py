@@ -1,0 +1,84 @@
+"""Property-based tests on storage-stack invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+from repro.storage import BlockDevice, PageCache, SSDDevice
+
+MB = 1024.0 ** 2
+GB = 1024.0 ** 3
+
+
+@given(st.lists(st.floats(min_value=1 * MB, max_value=256 * MB),
+                min_size=1, max_size=15))
+@settings(max_examples=30, deadline=None)
+def test_pagecache_conserves_written_bytes(sizes):
+    """Every byte written through the cache eventually reaches the device
+    (absorbed bytes via writeback, throttled bytes directly)."""
+    sim = Simulator()
+    dev = BlockDevice(sim, read_bw=200 * MB, write_bw=200 * MB)
+    pc = PageCache(sim, dev, memory_bw=GB, cache_bytes=GB,
+                   dirty_limit_bytes=256 * MB)
+    for i, s in enumerate(sizes):
+        pc.write(s, f"f{i}")
+    sim.run()
+    assert math.isclose(dev.bytes_written, sum(sizes), rel_tol=1e-6)
+    assert pc.dirty <= 1.0
+
+
+@given(st.lists(st.floats(min_value=1 * MB, max_value=256 * MB),
+                min_size=1, max_size=15))
+@settings(max_examples=30, deadline=None)
+def test_pagecache_accounting_split(sizes):
+    sim = Simulator()
+    dev = BlockDevice(sim, read_bw=200 * MB, write_bw=200 * MB)
+    pc = PageCache(sim, dev, memory_bw=GB, cache_bytes=GB,
+                   dirty_limit_bytes=128 * MB)
+    for i, s in enumerate(sizes):
+        pc.write(s, f"f{i}")
+    sim.run()
+    assert math.isclose(pc.bytes_absorbed + pc.bytes_throttled,
+                        sum(sizes), rel_tol=1e-6)
+
+
+@given(st.lists(st.floats(min_value=16 * MB, max_value=GB),
+                min_size=1, max_size=10),
+       st.floats(min_value=0.5 * GB, max_value=4 * GB))
+@settings(max_examples=30, deadline=None)
+def test_ssd_writes_complete_and_account(sizes, pool):
+    sim = Simulator()
+    ssd = SSDDevice(sim, clean_pool_bytes=pool)
+    events = [ssd.write(s) for s in sizes]
+    sim.run()
+    assert all(e.triggered for e in events)
+    assert math.isclose(ssd.bytes_written, sum(sizes), rel_tol=1e-6)
+
+
+@given(st.integers(min_value=1, max_value=64))
+@settings(max_examples=20, deadline=None)
+def test_ssd_write_capacity_monotone_in_queue_depth(depth):
+    """More concurrent writers never increases the GC-era capacity."""
+    sim = Simulator()
+    ssd = SSDDevice(sim, clean_pool_bytes=1 * MB)
+    sim.run(until=ssd.write(2 * MB))  # enter GC era
+    caps = [ssd._write_capacity(q) for q in range(1, depth + 1)]
+    assert all(a >= b - 1e-9 for a, b in zip(caps, caps[1:]))
+    assert min(caps) >= ssd.peak_write_bw * ssd.min_era_efficiency \
+        * ssd.interference_floor - 1e-9
+
+
+@given(st.lists(st.tuples(st.floats(min_value=1 * MB, max_value=64 * MB),
+                          st.booleans()),
+                min_size=2, max_size=12))
+@settings(max_examples=30, deadline=None)
+def test_mixed_reads_writes_never_deadlock(ops):
+    sim = Simulator()
+    ssd = SSDDevice(sim)
+    events = []
+    for size, is_read in ops:
+        events.append(ssd.read(size) if is_read else ssd.write(size))
+    sim.run()
+    assert all(e.triggered for e in events)

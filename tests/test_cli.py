@@ -1,0 +1,62 @@
+"""Tests for the top-level CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDescribe:
+    def test_describe_cluster(self, capsys):
+        assert main(["describe-cluster", "--nodes", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "10 nodes" in out
+        assert "lustre" in out
+        assert "ssd" in out
+
+    def test_hyperion_numbers_shown(self, capsys):
+        main(["describe-cluster"])
+        out = capsys.readouterr().out
+        assert "100 nodes" in out and "1600 cores" in out
+        assert "507/387" in out  # SSD r/w MB/s
+
+
+class TestRun:
+    def test_run_groupby_prints_summary(self, capsys):
+        rc = main(["run", "--workload", "groupby", "--data-gb", "4",
+                   "--nodes", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "GroupBy" in out
+        assert "compute" in out and "store" in out and "fetch" in out
+
+    def test_run_with_optimizations(self, capsys):
+        rc = main(["run", "--workload", "groupby", "--data-gb", "4",
+                   "--nodes", "2", "--elb", "--cad"])
+        assert rc == 0
+
+    def test_run_gantt(self, capsys):
+        main(["run", "--workload", "grep", "--data-gb", "2",
+              "--nodes", "2", "--gantt"])
+        out = capsys.readouterr().out
+        assert "timeline 0 .." in out
+        assert "node   0" in out
+
+    def test_run_csv_and_json_outputs(self, tmp_path, capsys):
+        csv_path = tmp_path / "trace.csv"
+        json_path = tmp_path / "job.json"
+        main(["run", "--workload", "lr", "--data-gb", "2", "--nodes", "2",
+              "--csv", str(csv_path), "--json", str(json_path)])
+        assert csv_path.read_text().startswith("task_id,phase,node")
+        payload = json.loads(json_path.read_text())
+        assert payload["job_name"] == "LogisticRegression"
+
+    def test_every_workload_runs(self, capsys):
+        for workload in ("groupby", "grep", "lr", "wordcount", "kmeans"):
+            assert main(["run", "--workload", workload, "--data-gb", "2",
+                         "--nodes", "2"]) == 0
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--workload", "sort9000"])

@@ -1,0 +1,37 @@
+"""Tests for SparkConf / Table I."""
+
+import pytest
+
+from repro.config import GB, MB, TABLE_I, SparkConf
+
+
+class TestTableI:
+    def test_default_conf_reproduces_table_i(self):
+        assert SparkConf().table_i() == TABLE_I
+
+    def test_table_i_values_match_paper_exactly(self):
+        assert TABLE_I["spark.reducer.maxMbInFlight"] == "1GB"
+        assert TABLE_I["spark.rdd.compress"] == "false"
+        assert TABLE_I["spark.shuffle.compress"] == "true"
+        assert TABLE_I["spark.buffer.size"] == "8MB"
+        assert TABLE_I["spark.default.parallelism"] == \
+            "application dependent"
+
+    def test_explicit_parallelism_rendered(self):
+        conf = SparkConf(default_parallelism=4096)
+        assert conf.table_i()["spark.default.parallelism"] == "4096"
+
+
+class TestWith:
+    def test_with_returns_modified_copy(self):
+        base = SparkConf()
+        small = base.with_(fetch_request_bytes=128 * 1024)
+        assert small.fetch_request_bytes == 128 * 1024
+        assert base.fetch_request_bytes == 1 * GB  # original untouched
+
+    def test_defaults(self):
+        conf = SparkConf()
+        assert conf.buffer_size == 8 * MB
+        assert conf.max_concurrent_fetches >= 1
+        assert conf.locality_wait == 3.0
+        assert conf.task_overhead > 0

@@ -1,0 +1,105 @@
+"""Tests for the WordCount and kMeans workloads."""
+
+import numpy as np
+import pytest
+
+from repro import hyperion, run_job
+from repro.core.local import LocalContext
+from repro.workloads import (
+    generate_text_corpus,
+    kmeans_spec,
+    run_kmeans_local,
+    run_wordcount_local,
+    wordcount_spec,
+)
+
+GB = 1024.0 ** 3
+MB = 1024.0 ** 2
+
+
+class TestWordCountSpec:
+    def test_combining_shrinks_intermediate(self):
+        spec = wordcount_spec(100 * GB, combine_ratio=0.15)
+        assert spec.intermediate_bytes == pytest.approx(15 * GB)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wordcount_spec(GB, combine_ratio=0.0)
+        with pytest.raises(ValueError):
+            wordcount_spec(GB, combine_ratio=1.5)
+
+    def test_simulated_wordcount_runs_three_phases(self):
+        res = run_job(wordcount_spec(4 * GB, n_reducers=32),
+                      cluster_spec=hyperion(4))
+        assert set(res.phases) == {"compute", "store", "fetch"}
+        # Intermediate volume is the combined fraction.
+        assert res.node_intermediate.sum() == pytest.approx(
+            0.15 * 4 * GB, rel=1e-6)
+
+
+class TestWordCountLocal:
+    def test_counts_match_python_reference(self):
+        lines = generate_text_corpus(300, seed=7)
+        counts = run_wordcount_local(lines)
+        from collections import Counter
+        expected = Counter(w for ln in lines for w in ln.split())
+        assert counts == dict(expected)
+
+    def test_empty_corpus(self):
+        assert run_wordcount_local([]) == {}
+
+
+class TestKMeansSpec:
+    def test_iterative_cached_no_shuffle(self):
+        spec = kmeans_spec(10 * GB, iterations=5)
+        assert spec.iterations == 5
+        assert spec.cache_input
+        assert spec.shuffle_store is None
+
+    def test_simulated_kmeans_runs(self):
+        res = run_job(kmeans_spec(2 * GB, iterations=2),
+                      cluster_spec=hyperion(2))
+        assert res.job_time > 0
+        assert len(res.phases["compute"].tasks) == \
+            2 * kmeans_spec(2 * GB).n_map_tasks
+
+
+class TestKMeansLocal:
+    @staticmethod
+    def blob_points(seed=0):
+        rng = np.random.default_rng(seed)
+        centers = np.array([[0.0, 0.0], [10.0, 10.0], [-10.0, 10.0]])
+        pts = []
+        for c in centers:
+            pts.extend(c + rng.normal(scale=0.5, size=(40, 2)))
+        return pts, centers
+
+    def test_recovers_well_separated_blobs(self):
+        pts, centers = self.blob_points()
+        centroids, assignment = run_kmeans_local(pts, k=3, iterations=8,
+                                                 seed=1)
+        # Every learned centroid sits near one true center.
+        for c in centroids:
+            dists = np.linalg.norm(centers - c, axis=1)
+            assert dists.min() < 1.5
+
+    def test_assignment_covers_all_points(self):
+        pts, _ = self.blob_points(seed=3)
+        _, assignment = run_kmeans_local(pts, k=3, iterations=3, seed=0)
+        assert len(assignment) == len(pts)
+        assert set(assignment) <= {0, 1, 2}
+
+    def test_uses_cached_rdd(self):
+        ctx = LocalContext(parallelism=2)
+        pts, _ = self.blob_points(seed=5)
+        run_kmeans_local(pts, k=2, iterations=4, ctx=ctx, seed=0)
+        assert ctx.backend.partitions_computed == 2  # cached across iters
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_kmeans_local([], k=1)
+        pts, _ = self.blob_points()
+        with pytest.raises(ValueError):
+            run_kmeans_local(pts, k=0)
+        with pytest.raises(ValueError):
+            run_kmeans_local(pts, k=3, iterations=0)
