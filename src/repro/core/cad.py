@@ -23,6 +23,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, Optional
 
+from repro.sim import simtime
+
 __all__ = ["CongestionAwareDispatcher"]
 
 
@@ -81,7 +83,10 @@ class CongestionAwareDispatcher:
         or below the device's efficient range stop the interference
         feedback loop of Fig 8(d).
         """
-        if now < self._next_allowed.get(node, 0.0):
+        if not simtime.reached(now, self._next_allowed.get(node, 0.0)):
+            # Epsilon-consistent with the scheduler's retry arming: a
+            # "not ready" verdict here always corresponds to a pacing
+            # gate strictly in the future, never "retry now".
             return False
         if self.throttling and \
                 self._in_flight.get(node, 0) >= self.target_concurrency:
@@ -99,6 +104,14 @@ class CongestionAwareDispatcher:
             # freed slots do not refill in one burst.
             self._next_allowed[node] = now + min(self.delay,
                                                  self.max_spacing)
+
+    def on_abandon(self, node: int) -> None:
+        """An attempt on ``node`` ended without completing (interrupted
+        speculation loser, injected failure).  Release its in-flight
+        count; otherwise a node blocked on the concurrency cap would
+        wait forever for a completion that can no longer arrive."""
+        if self._in_flight.get(node, 0) > 0:
+            self._in_flight[node] -= 1
 
     # -- feedback -----------------------------------------------------------------
     def on_complete(self, duration: float,

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.core.task import SimTask, TaskQueue
+from repro.sim import simtime
 
 __all__ = ["SchedulingPolicy", "LocalityFirstPolicy", "DelayScheduling"]
 
@@ -33,7 +34,19 @@ class SchedulingPolicy:
         raise NotImplementedError
 
     def next_retry(self, queue: TaskQueue, now: float) -> Optional[float]:
-        """When to re-offer idle slots despite pending tasks, if ever."""
+        """When to re-offer idle slots despite pending tasks, if ever.
+
+        Contract (the *wakeup protocol*): return either ``None`` —
+        meaning any current declines are not time-based, so only a
+        cluster-state change (completion, interrupt, failure) can make a
+        future offer succeed — or a timestamp **strictly greater than**
+        ``now`` at which a declined offer should be repeated.  A policy
+        that declines an offer because a deadline computed from the same
+        inputs has not been reached MUST use
+        :func:`repro.sim.simtime.reached` for that test so the two
+        answers cannot disagree under float rounding (the lost-wakeup
+        bug).
+        """
         return None
 
     def node_order(self, nodes: Sequence[int]) -> List[int]:
@@ -97,8 +110,12 @@ class DelayScheduling(SchedulingPolicy):
         if task is not None:
             return task
         ref = self._reference(queue)
-        if ref is not None and now - ref >= self.wait:
+        if ref is not None and simtime.reached(now, ref + self.wait):
             task = queue.pop_any()
+            if task is None:
+                # Only pinned-elsewhere tasks remain; nothing to launch
+                # here regardless of the wait clock.
+                return None
             task.local = (node in task.preferred) if task.preferred else None
             return task
         if ref is not None:
@@ -109,4 +126,12 @@ class DelayScheduling(SchedulingPolicy):
         ref = self._reference(queue)
         if ref is None:
             return None
-        return max(now, ref + self.wait)
+        deadline = ref + self.wait
+        if simtime.reached(now, deadline):
+            # The wait has already expired: if an offer was still
+            # declined it was not for a time-based reason (e.g. only
+            # pinned tasks remain), so no timer can help — state changes
+            # re-offer.  ``not reached`` conversely implies
+            # ``deadline > now``, so the runner always arms the timer.
+            return None
+        return deadline

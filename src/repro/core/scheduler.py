@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, \
     Set, Tuple
 
+from repro.sim import simtime
 from repro.sim.events import Event, Interrupt
 from repro.core.cad import CongestionAwareDispatcher
 from repro.core.metrics import TaskRecord
@@ -69,6 +70,8 @@ class StageRunner:
         self._attempts: Dict[int, List[Tuple[int, float, object]]] = {}
         self.done = Event(sim, name="stage-done")
         self._retry_token = 0
+        self._retry_deadline: Optional[float] = None
+        sim.add_diagnostic(self.diagnostic_snapshot)
         if self._remaining == 0:
             self.done.succeed(self.records)
 
@@ -86,6 +89,8 @@ class StageRunner:
         if self.done.triggered:
             return
         now = self.sim.now
+        self.sim.trace("offer", free_slots=list(self.free_slots),
+                       pending=len(self.queue))
         while len(self.queue) > 0:
             free = [n for n in range(self.n_nodes) if self.free_slots[n] > 0]
             if not free:
@@ -99,14 +104,23 @@ class StageRunner:
                 if self.throttler is not None and \
                         not self.throttler.ready(node, now):
                     t = self.throttler.retry_at(node)
-                    if t > now:
+                    if not simtime.reached(now, t):
+                        # Pacing gate: ready() declined with the same
+                        # reached() test, so t is strictly future and a
+                        # timer can be armed.
                         throttle_retry = t if throttle_retry is None \
                             else min(throttle_retry, t)
-                    # else: blocked on concurrency; the next completion
-                    # re-offers.
+                        self.sim.trace("throttle", node=node,
+                                       reason="pacing", retry_at=t)
+                    else:
+                        # Blocked on concurrency; the next completion or
+                        # abandoned attempt on the node re-offers.
+                        self.sim.trace("throttle", node=node,
+                                       reason="concurrency")
                     continue
                 task = self.policy.select(node, self.queue, now)
                 if task is None:
+                    self.sim.trace("decline", node=node)
                     continue
                 self._launch(task, node)
                 launched_any = True
@@ -123,11 +137,16 @@ class StageRunner:
     def _arm_retry(self, when: float) -> None:
         self._retry_token += 1
         token = self._retry_token
-        self.sim.schedule_callback(max(0.0, when - self.sim.now),
+        self._retry_deadline = when
+        self.sim.trace("retry-armed", at=when, token=token)
+        self.sim.schedule_callback(simtime.delay_until(self.sim.now, when),
                                    self._on_retry, token)
 
     def _on_retry(self, token: int) -> None:
-        if token == self._retry_token:
+        stale = token != self._retry_token
+        self.sim.trace("retry-fired", token=token, stale=stale)
+        if not stale:
+            self._retry_deadline = None
             self._offer()
 
     # -- speculation -------------------------------------------------------------
@@ -150,7 +169,7 @@ class StageRunner:
             others = [n for n in free if n != busy_node]
             node = others[0] if others else free[0]
             spec.copies_launched += 1
-            self._launch(task, node)
+            self._launch(task, node, speculative=True)
         self._arm_speculation_check()
 
     def _arm_speculation_check(self) -> None:
@@ -170,13 +189,16 @@ class StageRunner:
             if attempts[0][3].pinned is not None:
                 continue
             crossing = attempts[0][1] + threshold
-            if crossing > now and (horizon is None or crossing < horizon):
+            if not simtime.reached(now, crossing) and \
+                    (horizon is None or crossing < horizon):
                 horizon = crossing
         if horizon is not None:
             self._spec_token = getattr(self, "_spec_token", 0) + 1
             token = self._spec_token
-            self.sim.schedule_callback(horizon - now + 1e-9,
-                                       self._on_spec_check, token)
+            self.sim.trace("spec-armed", at=horizon, token=token)
+            self.sim.schedule_callback(
+                simtime.delay_until(now, simtime.next_after(now, horizon)),
+                self._on_spec_check, token)
 
     def _on_spec_check(self, token: int) -> None:
         if token == getattr(self, "_spec_token", 0) and \
@@ -200,16 +222,19 @@ class StageRunner:
         return best
 
     # -- launching ----------------------------------------------------------------
-    def _launch(self, task: SimTask, node: int) -> None:
+    def _launch(self, task: SimTask, node: int,
+                speculative: bool = False) -> None:
         self.free_slots[node] -= 1
         if self.throttler is not None:
             self.throttler.on_launch(node, self.sim.now)
-        proc = self.sim.process(self._run_task(task, node),
+        self.sim.trace("launch", task=task.task_id, node=node,
+                       speculative=speculative)
+        proc = self.sim.process(self._run_task(task, node, speculative),
                                 name=f"task:{task.phase}#{task.task_id}")
         self._attempts.setdefault(task.task_id, []).append(
             (node, self.sim.now, proc, task))
 
-    def _run_task(self, task: SimTask, node: int):
+    def _run_task(self, task: SimTask, node: int, speculative: bool = False):
         started = self.sim.now
         interrupted = False
         failed = False
@@ -231,9 +256,17 @@ class StageRunner:
             self._forget_attempt(task.task_id, node, started)
 
         if interrupted:
+            # The attempt never completes: release its in-flight count
+            # ourselves, or a throttled node blocked on concurrency
+            # would wait forever for a completion that cannot come.
+            if self.throttler is not None:
+                self.throttler.on_abandon(node)
+            self.sim.trace("interrupt", task=task.task_id, node=node)
             self._offer()
             return
         if failed:
+            if self.throttler is not None:
+                self.throttler.on_abandon(node)
             self._handle_failure(task, node)
             self._offer()
             return
@@ -245,6 +278,8 @@ class StageRunner:
 
         finished = self.sim.now
         self._finished.add(task.task_id)
+        self.sim.trace("complete", task=task.task_id, node=node,
+                       speculative=speculative)
         record = TaskRecord(task_id=task.task_id, phase=task.phase,
                             node=node, queued_at=task.queued_at,
                             started_at=started, finished_at=finished,
@@ -256,7 +291,10 @@ class StageRunner:
             self.throttler.on_complete(duration, node)
         if self.speculation is not None:
             self.speculation.on_complete(duration)
-            if len(self._attempts.get(task.task_id, ())) > 0:
+            if speculative:
+                # Only a finish *by the backup copy* is a win for
+                # speculation; the original attempt winning the race
+                # (with its twin still alive) is not.
                 self.speculation.copies_won += 1
             self._interrupt_copies(task.task_id)
         if self.on_complete is not None:
@@ -285,6 +323,7 @@ class StageRunner:
     def _handle_failure(self, task: SimTask, node: int) -> None:
         count = self._failures.get(task.task_id, 0) + 1
         self._failures[task.task_id] = count
+        self.sim.trace("failure", task=task.task_id, node=node, count=count)
         if count > self.max_attempt_failures:
             if not self.done.triggered:
                 self.done.fail(StageFailed(
@@ -299,3 +338,45 @@ class StageRunner:
     @property
     def attempt_failures(self) -> int:
         return sum(self._failures.values())
+
+    # -- forensics & invariants ---------------------------------------------------
+    def diagnostic_snapshot(self) -> Dict[str, object]:
+        """State summary for :class:`~repro.sim.core.SimulationDeadlock`."""
+        running = {tid: [a[0] for a in attempts]
+                   for tid, attempts in self._attempts.items()}
+        snap: Dict[str, object] = {
+            "stage": "done" if self.done.triggered else "running",
+            "pending_tasks": [t.task_id for t in self.queue.pending()],
+            "free_slots": list(self.free_slots),
+            "running_attempts": running,
+            "remaining": self._remaining,
+            "armed_retry_deadline": self._retry_deadline,
+            "armed_retry_token": self._retry_token,
+        }
+        violation = self.wakeup_invariant_violation()
+        if violation is not None:
+            snap["invariant_violation"] = violation
+        return snap
+
+    def wakeup_invariant_violation(self) -> Optional[str]:
+        """Check: *any pending task with a free slot implies an armed
+        wakeup or a state-changing event in flight.*
+
+        Returns a description of the violation, or ``None`` when the
+        invariant holds.  A violated invariant at a quiescent point (no
+        events left in the simulator between offers) is exactly a lost
+        wakeup: pending work, capacity to run it, and nothing that will
+        ever re-offer.
+        """
+        if self.done.triggered or len(self.queue) == 0:
+            return None
+        free = [n for n in range(self.n_nodes) if self.free_slots[n] > 0]
+        if not free:
+            return None
+        if self._attempts:
+            return None  # a running attempt's exit always re-offers
+        if self._retry_deadline is not None:
+            return None  # an armed wakeup timer will re-offer
+        pending = [t.task_id for t in self.queue.pending()]
+        return (f"pending tasks {pending} with free slots on nodes {free} "
+                f"but no armed wakeup and no running attempts")

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.sim import simtime
+
 __all__ = ["SpeculativeExecution", "TaskAttemptFailure"]
 
 
@@ -62,5 +64,9 @@ class SpeculativeExecution:
         return self.multiplier * median
 
     def is_straggler(self, elapsed: float) -> bool:
+        # reached() rather than a strict ``>``: the runner's horizon
+        # timer fires when elapsed ~= threshold, and rounding in
+        # (started + threshold) - started must not push the check back
+        # below the line (which would silently disarm speculation).
         threshold = self.threshold()
-        return threshold is not None and elapsed > threshold
+        return threshold is not None and simtime.reached(elapsed, threshold)

@@ -102,3 +102,11 @@ class TaskQueue:
 
     def has_local(self, node: int) -> bool:
         return self._peekq(self._local.get(node)) is not None
+
+    def pending(self) -> List[SimTask]:
+        """All not-yet-taken tasks (for diagnostics; not a pop)."""
+        out: List[SimTask] = []
+        # _local holds duplicates of _any entries, so scan _any + _pinned.
+        for q in (self._any, *self._pinned.values()):
+            out.extend(t for t in q if not t.taken)
+        return out

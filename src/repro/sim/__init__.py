@@ -14,14 +14,20 @@ providing the substrate for every simulated subsystem in this package:
 * :class:`~repro.sim.fluid.FluidPipe` — a shared-bandwidth fluid channel
   used to model NICs, block devices, and parallel-filesystem pools.
 * :class:`~repro.sim.rng.RandomStreams` — named deterministic RNG streams.
+* :mod:`~repro.sim.simtime` — epsilon-consistent deadline comparisons
+  shared by every timer-driven scheduler feedback loop.
+* :class:`~repro.sim.trace.TraceEvent` /
+  :class:`~repro.sim.core.SimulationDeadlock` — opt-in structured
+  tracing and deadlock forensics.
 """
 
-from repro.sim.core import Simulator
+from repro.sim.core import SimulationDeadlock, Simulator
 from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
 from repro.sim.process import Process
 from repro.sim.resources import Container, Resource, Store
 from repro.sim.fluid import FluidPipe, Flow
 from repro.sim.rng import RandomStreams
+from repro.sim.trace import TraceEvent
 
 __all__ = [
     "AllOf",
@@ -34,7 +40,9 @@ __all__ = [
     "Process",
     "RandomStreams",
     "Resource",
+    "SimulationDeadlock",
     "Simulator",
     "Store",
     "Timeout",
+    "TraceEvent",
 ]

@@ -3,16 +3,49 @@
 from __future__ import annotations
 
 import heapq
-from typing import Any, Generator, Iterable, Optional, Union
+from collections import deque
+from typing import Any, Callable, Dict, Generator, Iterable, List, \
+    Optional, Union
 
 from repro.sim.events import NORMAL, AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
+from repro.sim.trace import TraceEvent
 
-__all__ = ["Simulator", "EmptySchedule"]
+__all__ = ["Simulator", "EmptySchedule", "SimulationDeadlock"]
 
 
 class EmptySchedule(Exception):
     """Raised by :meth:`Simulator.step` when no events remain."""
+
+
+class SimulationDeadlock(RuntimeError):
+    """``run(until=event)`` ran dry before the event triggered.
+
+    Subclasses :class:`RuntimeError` for backward compatibility, but
+    carries forensics instead of a bare message:
+
+    * ``waiting_for`` — the event that never triggered;
+    * ``diagnostics`` — one snapshot dict per registered provider
+      (stage runners report pending tasks, free slots, armed timers);
+    * ``trace_tail`` — the last traced events, when tracing was enabled.
+    """
+
+    def __init__(self, waiting_for: Event,
+                 diagnostics: List[Dict[str, Any]],
+                 trace_tail: List[TraceEvent]) -> None:
+        self.waiting_for = waiting_for
+        self.diagnostics = diagnostics
+        self.trace_tail = trace_tail
+        lines = [f"simulation ran dry before {waiting_for!r} triggered"]
+        if diagnostics:
+            lines.append("diagnostics:")
+            for snap in diagnostics:
+                fields = ", ".join(f"{k}={v!r}" for k, v in snap.items())
+                lines.append(f"  - {fields}")
+        if trace_tail:
+            lines.append(f"last {len(trace_tail)} trace events:")
+            lines.extend(f"  {ev}" for ev in trace_tail)
+        super().__init__("\n".join(lines))
 
 
 class Simulator:
@@ -27,11 +60,47 @@ class Simulator:
         self._now = float(start)
         self._queue: list = []
         self._seq = 0
+        self._trace: Optional[deque] = None
+        self._diagnostics: List[Callable[[], Dict[str, Any]]] = []
 
     @property
     def now(self) -> float:
         """Current simulation time."""
         return self._now
+
+    # -- tracing & forensics ----------------------------------------------
+    @property
+    def trace_enabled(self) -> bool:
+        return self._trace is not None
+
+    def enable_trace(self, capacity: int = 512) -> None:
+        """Start recording :class:`TraceEvent` records (ring buffer)."""
+        self._trace = deque(maxlen=capacity)
+
+    def trace(self, kind: str, **data: Any) -> None:
+        """Record one trace event; a no-op unless tracing is enabled."""
+        if self._trace is not None:
+            self._trace.append(TraceEvent(self._now, kind, data))
+
+    def trace_events(self, kind: Optional[str] = None) -> List[TraceEvent]:
+        """Recorded events, optionally filtered by kind."""
+        if self._trace is None:
+            return []
+        return [e for e in self._trace if kind is None or e.kind == kind]
+
+    def add_diagnostic(self, provider: Callable[[], Dict[str, Any]]) -> None:
+        """Register a state-snapshot callable for deadlock reports."""
+        self._diagnostics.append(provider)
+
+    def _deadlock(self, waiting_for: Event) -> SimulationDeadlock:
+        snapshots: List[Dict[str, Any]] = []
+        for provider in self._diagnostics:
+            try:
+                snapshots.append(provider())
+            except Exception as exc:  # pragma: no cover - defensive
+                snapshots.append({"diagnostic_error": repr(exc)})
+        tail = list(self._trace)[-20:] if self._trace is not None else []
+        return SimulationDeadlock(waiting_for, snapshots, tail)
 
     # -- event factories --------------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -112,9 +181,7 @@ class Simulator:
                 try:
                     self.step()
                 except EmptySchedule:
-                    raise RuntimeError(
-                        f"simulation ran dry before {stop!r} triggered"
-                    ) from None
+                    raise self._deadlock(stop) from None
             if not stop.ok:
                 stop.defuse()
                 raise stop.value

@@ -1,0 +1,84 @@
+"""Epsilon-consistent event-time comparisons.
+
+Every timer-driven feedback loop in the scheduler — delay scheduling's
+locality wait, CAD's dispatch pacing, the speculation horizon — follows
+the same protocol: a policy *declines* an offer because a deadline has
+not been reached, *reports* when to retry, and the runner arms a wakeup
+timer.  The protocol deadlocks the moment the two sides of that
+conversation disagree: if the policy computes "deadline not reached" as
+``now - ref >= wait`` while the retry time is computed as ``ref + wait``
+and compared against ``now``, IEEE-754 rounding can make the first test
+false and the second test "retry now" simultaneously — the runner then
+arms no timer and the simulation runs dry (a *lost wakeup*).
+
+This module is the single source of truth for those comparisons.  The
+contract:
+
+* ``reached(now, deadline)`` — the one way to ask "has this deadline
+  passed?".  It is tolerant: a deadline within a relative epsilon of
+  ``now`` counts as reached, which absorbs the one-ulp drift introduced
+  by computing a timer delay (``when - now``) and re-adding it to the
+  clock (``now + delay``).
+* ``not reached(now, deadline)`` implies ``deadline > now`` as plain
+  floats — so a policy that declines for a time-based reason always
+  reports a retry time *strictly in the future*, and the runner's timer
+  is always armed.
+* ``next_after(now, deadline)`` — a wake-up time strictly after ``now``
+  at or beyond ``deadline``; safe to arm even when ``deadline <= now``.
+* ``delay_until(now, when)`` — a delay ``d`` with ``now + d >= when``
+  exactly in float arithmetic, so a timer armed for ``when`` never fires
+  at a clock reading that still tests as "before ``when``".
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["EPS_REL", "tolerance", "reached", "next_after", "delay_until"]
+
+#: Relative comparison tolerance.  Scheduler timestamps in this package
+#: span roughly [1e-3, 1e6] seconds; 1e-9 relative is ~6 orders of
+#: magnitude above double-precision ulp at those magnitudes (so it
+#: absorbs accumulated rounding) while staying far below any physically
+#: meaningful interval (the shortest modelled latencies are ~1e-6 s).
+EPS_REL = 1e-9
+
+
+def tolerance(now: float, deadline: float, eps: float = EPS_REL) -> float:
+    """Absolute slack used when comparing ``now`` against ``deadline``."""
+    return eps * max(1.0, abs(now), abs(deadline))
+
+
+def reached(now: float, deadline: float, eps: float = EPS_REL) -> bool:
+    """Has the clock reached ``deadline`` for scheduling purposes?
+
+    True when ``now >= deadline - tolerance``.  All threshold checks in
+    the scheduler, policies, CAD, and speculation route through this so
+    an offer-decline and its retry report can never disagree.
+    """
+    return now >= deadline - tolerance(now, deadline, eps)
+
+
+def next_after(now: float, deadline: float) -> float:
+    """A wake-up time strictly after ``now`` that is ``>= deadline``.
+
+    When ``deadline`` lies in the future this is just ``deadline``; when
+    it is at or before ``now`` (e.g. a deadline that already tests as
+    reached) it is the next representable float after ``now``, so a
+    timer armed at the result always fires at a strictly later clock
+    reading — arming can never be a no-op that loses the wakeup.
+    """
+    return max(deadline, math.nextafter(now, math.inf))
+
+
+def delay_until(now: float, when: float) -> float:
+    """A non-negative delay ``d`` such that ``now + d >= when`` in floats.
+
+    ``when - now`` alone can round *down*, making a timer armed for
+    ``when`` fire at a clock reading just before it; this nudges the
+    delay up by ulps until the round trip lands at or past ``when``.
+    """
+    d = max(0.0, when - now)
+    while now + d < when:
+        d = math.nextafter(d, math.inf)
+    return d

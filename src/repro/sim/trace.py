@@ -1,0 +1,47 @@
+"""Structured scheduler/simulator tracing.
+
+An opt-in ring buffer of :class:`TraceEvent` records kept by the
+:class:`~repro.sim.core.Simulator`.  Instrumented components (the stage
+runner, policies via the runner, CAD) call ``sim.trace(kind, **data)``;
+when tracing is disabled the call is a cheap no-op, when enabled the
+event lands in a bounded deque that tests can query and that the
+deadlock forensics report (:class:`~repro.sim.core.SimulationDeadlock`)
+dumps as its "last N events" tail.
+
+Event kinds emitted by the stage runner:
+
+=================  ==========================================================
+kind               meaning / payload
+=================  ==========================================================
+``offer``          an offer sweep started (``free_slots``, ``pending``)
+``decline``        a policy returned no task for a free slot (``node``)
+``launch``         a task attempt started (``task``, ``node``, ``speculative``)
+``throttle``       CAD blocked a node (``node``, ``reason``, ``retry_at``)
+``retry-armed``    a wakeup timer was armed (``at``, ``token``)
+``retry-fired``    a wakeup timer fired (``token``, ``stale``)
+``spec-armed``     the speculation-horizon timer was armed (``at``, ``token``)
+``complete``       an attempt finished and won (``task``, ``node``)
+``interrupt``      an attempt was interrupted (``task``, ``node``)
+``failure``        an attempt failed (``task``, ``node``, ``count``)
+=================  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+__all__ = ["TraceEvent"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced occurrence: a timestamp, a kind tag, and a payload."""
+
+    time: float
+    kind: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        fields = " ".join(f"{k}={v!r}" for k, v in self.data.items())
+        return f"[t={self.time:.6f}] {self.kind}" + (f" {fields}" if fields else "")

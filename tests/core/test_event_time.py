@@ -1,0 +1,190 @@
+"""Tests for the hardened event-time layer.
+
+Covers the deadlock forensics report (:class:`SimulationDeadlock`), the
+opt-in structured trace facility, the wake-up invariant checker, and a
+property sweep pushing adversarial float timestamps through all three
+policy stacks (locality-first, delay scheduling, ELB-wrapped).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.elb import EnhancedLoadBalancer
+from repro.core.policies import DelayScheduling, LocalityFirstPolicy, \
+    SchedulingPolicy
+from repro.core.scheduler import StageRunner
+from repro.core.task import SimTask
+from repro.sim import SimulationDeadlock, Simulator
+
+
+class DeclineForever(SchedulingPolicy):
+    """Test double: refuses every offer and never requests a retry."""
+
+    def select(self, node, queue, now):
+        return None
+
+
+def build_tasks(sim, durations, prefs=None, n_nodes=2):
+    prefs = prefs or [None] * len(durations)
+    tasks = []
+    for i, (dur, pref) in enumerate(zip(durations, prefs)):
+        def factory(node, dur=dur):
+            def body():
+                yield sim.timeout(dur)
+            return body()
+
+        preferred = (pref % n_nodes,) if pref is not None else ()
+        tasks.append(SimTask(task_id=i, phase="compute", body=factory,
+                             preferred=preferred))
+    return tasks
+
+
+class TestSimulationDeadlock:
+    def test_forced_deadlock_produces_forensics_report(self):
+        sim = Simulator()
+        sim.enable_trace()
+        tasks = build_tasks(sim, [1.0, 2.0])
+        runner = StageRunner(sim, 2, 2, tasks, policy=DeclineForever())
+        done = runner.run()
+        with pytest.raises(SimulationDeadlock) as exc_info:
+            sim.run(until=done)
+        err = exc_info.value
+        # Backward compatible with code catching the old bare error.
+        assert isinstance(err, RuntimeError)
+        assert "ran dry" in str(err)
+        # The report names the pending tasks and the free slots.
+        snap = err.diagnostics[0]
+        assert snap["pending_tasks"] == [0, 1]
+        assert snap["free_slots"] == [2, 2]
+        assert snap["remaining"] == 2
+        assert "pending_tasks=[0, 1]" in str(err)
+        assert "free_slots=[2, 2]" in str(err)
+        # The invariant checker diagnosed the lost wakeup.
+        assert "no armed wakeup" in snap["invariant_violation"]
+        # The trace tail shows the declined offers that got us here.
+        assert any(ev.kind == "decline" for ev in err.trace_tail)
+
+    def test_deadlock_report_without_tracing_still_has_diagnostics(self):
+        sim = Simulator()
+        tasks = build_tasks(sim, [1.0])
+        runner = StageRunner(sim, 1, 1, tasks, policy=DeclineForever())
+        with pytest.raises(SimulationDeadlock) as exc_info:
+            sim.run(until=runner.run())
+        assert exc_info.value.trace_tail == []
+        assert exc_info.value.diagnostics[0]["pending_tasks"] == [0]
+
+
+class TestTraceFacility:
+    def test_disabled_by_default_and_returns_nothing(self):
+        sim = Simulator()
+        assert not sim.trace_enabled
+        sim.trace("offer", node=0)       # no-op, must not blow up
+        assert sim.trace_events() == []
+
+    def test_records_offer_launch_retry_cycle(self):
+        sim = Simulator()
+        sim.enable_trace()
+        # Both tasks prefer node 0; node 1 declines, waits out the 1 s
+        # delay, then launches non-locally via the retry timer.
+        tasks = build_tasks(sim, [5.0, 5.0], prefs=[0, 0])
+        runner = StageRunner(sim, 2, 1, tasks,
+                             policy=DelayScheduling(wait=1.0))
+        sim.run(until=runner.run())
+        kinds = {e.kind for e in sim.trace_events()}
+        assert {"offer", "decline", "launch", "retry-armed",
+                "retry-fired", "complete"} <= kinds
+        armed = sim.trace_events("retry-armed")
+        fired = sim.trace_events("retry-fired")
+        assert armed and fired
+        # The timer fired at (or after) the time it was armed for.
+        assert fired[0].time >= armed[0].data["at"]
+        launches = sim.trace_events("launch")
+        assert {ev.data["task"] for ev in launches} == {0, 1}
+
+    def test_ring_buffer_caps_capacity(self):
+        sim = Simulator()
+        sim.enable_trace(capacity=4)
+        for i in range(10):
+            sim.trace("tick", i=i)
+        events = sim.trace_events("tick")
+        assert len(events) == 4
+        assert [e.data["i"] for e in events] == [6, 7, 8, 9]
+
+
+class TestWakeupInvariant:
+    def test_flags_pending_work_with_free_slot_and_no_wakeup(self):
+        sim = Simulator()
+        tasks = build_tasks(sim, [1.0])
+        runner = StageRunner(sim, 1, 1, tasks, policy=DeclineForever())
+        runner.run()
+        violation = runner.wakeup_invariant_violation()
+        assert violation is not None
+        assert "pending tasks [0]" in violation
+        assert "free slots" in violation
+
+    def test_holds_at_every_quiescent_point_of_a_normal_run(self):
+        sim = Simulator()
+        tasks = build_tasks(sim, [2.0, 2.0, 2.0, 2.0], prefs=[0, 0, 0, 0])
+        runner = StageRunner(sim, 2, 1, tasks,
+                             policy=DelayScheduling(wait=1.0))
+        done = runner.run()
+        assert runner.wakeup_invariant_violation() is None
+        while not done.processed:
+            sim.step()
+            assert runner.wakeup_invariant_violation() is None
+
+    def test_holds_when_stage_is_done(self):
+        sim = Simulator()
+        tasks = build_tasks(sim, [1.0])
+        runner = StageRunner(sim, 1, 1, tasks, policy=LocalityFirstPolicy())
+        sim.run(until=runner.run())
+        assert runner.wakeup_invariant_violation() is None
+
+
+# -- adversarial-float property sweep ---------------------------------------
+
+adversarial_durations = st.one_of(
+    st.floats(min_value=1e-9, max_value=1e-3),
+    st.floats(min_value=0.01, max_value=5.0),
+    st.floats(min_value=1e3, max_value=1e6),
+)
+
+adversarial_task_sets = st.lists(
+    st.tuples(adversarial_durations,
+              st.one_of(st.none(), st.integers(0, 7))),
+    min_size=1, max_size=12)
+
+
+@given(adversarial_task_sets, st.integers(2, 4),
+       st.floats(min_value=0.0, max_value=10.0))
+@settings(max_examples=200, deadline=None)
+def test_no_lost_wakeup_across_policies(task_set, n_nodes, wait):
+    """Adversarial float timestamps must never run the simulation dry
+    under locality-first, delay scheduling, or ELB-wrapped policies."""
+    durations = [d for d, _ in task_set]
+    prefs = [p for _, p in task_set]
+
+    def run(policy_factory, with_elb=False):
+        sim = Simulator()
+        tasks = build_tasks(sim, durations, prefs, n_nodes)
+        data = np.zeros(n_nodes)
+        policy = policy_factory()
+        if with_elb:
+            policy = EnhancedLoadBalancer(policy, data, threshold=0.25)
+
+        def bump(task, node, record):
+            data[node] += 1.0   # live imbalance feed: makes ELB veto
+
+        runner = StageRunner(sim, n_nodes, 2, tasks, policy=policy,
+                             on_complete=bump)
+        done = runner.run()
+        sim.run(until=done)    # a lost wakeup raises SimulationDeadlock
+        assert sorted(r.task_id for r in runner.records) == \
+            list(range(len(tasks)))
+        assert runner.wakeup_invariant_violation() is None
+
+    run(LocalityFirstPolicy)
+    run(lambda: DelayScheduling(wait=wait))
+    run(lambda: DelayScheduling(wait=wait), with_elb=True)

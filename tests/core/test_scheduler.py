@@ -140,6 +140,40 @@ class TestStageRunner:
 
 
 class TestDelayScheduling:
+    def test_lost_wakeup_regression(self):
+        """Pinned Hypothesis counterexample from
+        ``test_delay_scheduling_never_beats_immediate``: before the
+        simtime fix, float rounding made ``select`` decline the offer
+        ("wait not yet elapsed") while ``next_retry`` simultaneously
+        reported "retry now", so no timer was armed and the simulation
+        ran dry.  Must run to completion under both policies."""
+        task_set = [(1.0, None), (2.0, 0), (1.583289386664838, 0),
+                    (1.0, 0)]
+        n_nodes = 2
+
+        def run(policy_factory):
+            sim = Simulator()
+            tasks = []
+            for i, (dur, pref) in enumerate(task_set):
+                def factory(node, dur=dur):
+                    def body():
+                        yield sim.timeout(dur)
+                    return body()
+
+                preferred = (pref % n_nodes,) if pref is not None else ()
+                tasks.append(SimTask(task_id=i, phase="compute",
+                                     body=factory, preferred=preferred))
+            runner = StageRunner(sim, n_nodes, 2, tasks,
+                                 policy=policy_factory())
+            sim.run(until=runner.run())
+            assert sorted(r.task_id for r in runner.records) == \
+                list(range(len(task_set)))
+            return sim.now
+
+        immediate = run(LocalityFirstPolicy)
+        delayed = run(lambda: DelayScheduling(wait=3.0))
+        assert delayed >= immediate - 1e-9
+
     def test_waits_then_gives_up(self):
         sim = Simulator()
         # Both tasks prefer node 0; node 1 must wait out the delay.
@@ -299,3 +333,30 @@ class TestCAD:
             running += d
             peak = max(peak, running)
         assert peak <= 2
+
+    def test_interrupted_attempt_releases_concurrency_slot(self):
+        """A node blocked on CAD's concurrency cap must not lose its
+        wakeup when the last running task on it is *interrupted* rather
+        than completed: the abandoned attempt has to release its
+        in-flight count or the pending task waits forever."""
+        sim = Simulator()
+        tasks = make_tasks(sim, 2, duration=1000.0)
+        cad = CongestionAwareDispatcher(target_concurrency=1,
+                                        max_spacing=1e-4)
+        cad.delay = 0.05  # congestion detected: the in-flight cap is live
+        runner = StageRunner(sim, 1, 2, tasks,
+                             policy=LocalityFirstPolicy(), throttler=cad)
+        runner.run()
+        # Task 0 holds the single concurrency slot; task 1 is blocked.
+        assert len(runner.records) == 0
+
+        def kill_running_attempt():
+            node, started, proc, task = runner._attempts[0][0]
+            proc.interrupt("node drained")
+
+        sim.schedule_callback(1.0, kill_running_attempt)
+        sim.run(until=5.0)
+        # The freed concurrency slot let task 1 launch right away.
+        started = {tid: a[0][1] for tid, a in runner._attempts.items()}
+        assert started == {1: pytest.approx(1.0)}
+        assert runner.wakeup_invariant_violation() is None

@@ -99,6 +99,45 @@ class TestRunnerSpeculation:
         assert sim.now < 50.0  # the copy won; original interrupted
         assert len(runner.records) == 5
 
+    def _stage_with_racing_straggler(self, original_dur, copy_dur):
+        """4 quick tasks plus one straggler whose first attempt takes
+        ``original_dur`` and whose speculative copy takes ``copy_dur``."""
+        sim = Simulator()
+        launches = {"n": 0}
+
+        def straggler_factory(node):
+            launches["n"] += 1
+            dur = original_dur if launches["n"] == 1 else copy_dur
+
+            def body():
+                yield sim.timeout(dur)
+            return body()
+
+        tasks = [_make_task(sim, i, 1.0) for i in range(4)]
+        tasks.append(SimTask(task_id=4, phase="compute",
+                             body=straggler_factory))
+        spec = SpeculativeExecution(quantile=0.5, multiplier=2.0)
+        runner = StageRunner(sim, 2, 2, tasks,
+                             policy=LocalityFirstPolicy(),
+                             speculation=spec)
+        sim.run(until=runner.run())
+        assert spec.copies_launched == 1
+        assert sorted(r.task_id for r in runner.records) == list(range(5))
+        return spec
+
+    def test_copies_won_counts_only_speculative_finishers(self):
+        """Regression: ``copies_won`` used to increment whenever the
+        finisher had a living twin — i.e. even when the *original*
+        attempt won the race against its own backup copy."""
+        spec = self._stage_with_racing_straggler(original_dur=10.0,
+                                                 copy_dur=1000.0)
+        assert spec.copies_won == 0   # the original won
+
+    def test_copies_won_increments_when_the_copy_wins(self):
+        spec = self._stage_with_racing_straggler(original_dur=1000.0,
+                                                 copy_dur=1.0)
+        assert spec.copies_won == 1   # the backup copy won
+
     def test_every_task_recorded_exactly_once_despite_copies(self):
         sim = Simulator()
         tasks = [_make_task(sim, i, 1.0 + (i % 3)) for i in range(12)]

@@ -1,0 +1,102 @@
+"""Unit tests for the epsilon-consistent time helpers.
+
+Boundary behaviour is exercised at representative magnitudes (deadlines
+near 0, 1, and 1e6): exactly-equal timestamps, ±1 ulp around the
+deadline, and clearly-separated values.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import simtime
+
+MAGNITUDES = [0.0, 1.0, 1e6]
+
+
+@pytest.mark.parametrize("mag", MAGNITUDES)
+class TestReachedBoundaries:
+    def test_equal_is_reached(self, mag):
+        assert simtime.reached(mag, mag)
+
+    def test_one_ulp_above_is_reached(self, mag):
+        assert simtime.reached(math.nextafter(mag, math.inf), mag)
+
+    def test_one_ulp_below_is_reached_within_tolerance(self, mag):
+        # This is the whole point: a clock reading one ulp short of the
+        # deadline (timer-delay round-trip rounding) still counts.
+        assert simtime.reached(math.nextafter(mag, -math.inf), mag)
+
+    def test_clearly_before_is_not_reached(self, mag):
+        before = mag - 1e-6 * max(1.0, abs(mag))
+        assert not simtime.reached(before, mag)
+
+    def test_clearly_after_is_reached(self, mag):
+        after = mag + 1e-6 * max(1.0, abs(mag))
+        assert simtime.reached(after, mag)
+
+
+@pytest.mark.parametrize("mag", MAGNITUDES)
+class TestNextAfter:
+    def test_strictly_future_even_for_past_deadline(self, mag):
+        t = simtime.next_after(mag, mag)
+        assert t > mag
+        assert simtime.reached(t, mag)
+
+    def test_future_deadline_is_returned_verbatim(self, mag):
+        deadline = mag + 1.0
+        assert simtime.next_after(mag, deadline) == deadline
+
+    def test_past_deadline_lands_just_after_now(self, mag):
+        now = mag + 1.0
+        assert simtime.next_after(now, mag) == math.nextafter(now, math.inf)
+
+
+class TestDelayUntil:
+    @pytest.mark.parametrize("now,when", [
+        (0.0, 0.0),
+        (0.1, 3.1),
+        (1.0, math.nextafter(1.0, math.inf)),
+        (1e6, 1e6 + 0.05),
+        (3.0, 2.0),                      # past deadline -> zero delay
+        (4.583289386664838, 4.583289386664838 + 3.0),
+    ])
+    def test_round_trip_lands_at_or_past_deadline(self, now, when):
+        d = simtime.delay_until(now, when)
+        assert d >= 0.0
+        assert now + d >= when
+
+    @given(st.floats(min_value=0.0, max_value=1e6),
+           st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=200, deadline=None)
+    def test_round_trip_property(self, now, dt):
+        when = now + dt
+        d = simtime.delay_until(now, when)
+        assert now + d >= when
+
+
+class TestProtocolConsistency:
+    """The contract the scheduler relies on to never lose a wakeup."""
+
+    @given(st.floats(min_value=0.0, max_value=1e6),
+           st.floats(min_value=-1.0, max_value=100.0))
+    @settings(max_examples=200, deadline=None)
+    def test_not_reached_implies_strictly_future(self, now, delta):
+        deadline = now + delta
+        if not simtime.reached(now, deadline):
+            assert deadline > now
+            assert simtime.next_after(now, deadline) > now
+
+    @given(st.floats(min_value=0.0, max_value=1e6),
+           st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=200, deadline=None)
+    def test_armed_timer_fire_time_tests_as_reached(self, now, delta):
+        # Arming at next_after() with delay_until() must always produce
+        # a fire-time clock reading at which the deadline is reached.
+        deadline = now + delta
+        when = simtime.next_after(now, deadline)
+        fire = now + simtime.delay_until(now, when)
+        assert fire > now  # timers always advance the clock
+        assert simtime.reached(fire, deadline)
