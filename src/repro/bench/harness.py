@@ -1,0 +1,184 @@
+"""Benchmark harness: timing, the ``BENCH_*.json`` schema, and --check.
+
+The harness runs each scenario under the optimized engine and — for
+``--baseline`` / ``--check`` — again under the retained reference paths
+(:mod:`repro.sim.perfmode`), then writes one ``BENCH_<name>.json`` per
+scenario in a stable schema so the repository's perf trajectory can
+accumulate across commits (see DESIGN.md §8 for how to read it):
+
+.. code-block:: json
+
+    {
+      "schema": 1,
+      "name": "shuffle_wave",
+      "quick": false,
+      "unix_time": 1754000000.0,
+      "optimized":  {"wall_s": ..., "events": ..., "events_per_s": ...,
+                     "sim_time_s": ..., "metrics": {...},
+                     "fingerprint_sha256": "..."},
+      "reference":  {... same shape ...} ,
+      "speedup_events_per_s": 3.4,
+      "check": {"ran": true, "passed": true}
+    }
+
+``reference``/``speedup_events_per_s`` are ``null`` unless a baseline
+was measured; ``check.passed`` asserts the two engine modes produced
+**byte-identical** simulation results (same completion times, same
+bytes completed), which is what makes the optimization provably
+behavior-preserving rather than merely plausible.
+"""
+
+from __future__ import annotations
+
+import gc
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.bench.scenarios import SCENARIOS, ScenarioResult, run_scenario
+from repro.sim import perfmode
+
+__all__ = ["BenchReport", "bench_scenario", "run_bench", "main"]
+
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class TimedRun:
+    """One timed scenario execution in one engine mode."""
+
+    mode: str
+    wall_s: float
+    result: ScenarioResult
+
+    @property
+    def events_per_s(self) -> float:
+        return self.result.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "wall_s": round(self.wall_s, 6),
+            "events": self.result.events,
+            "events_per_s": round(self.events_per_s, 1),
+            "sim_time_s": self.result.sim_time,
+            "metrics": self.result.metrics,
+            "fingerprint_sha256": fingerprint_digest(
+                self.result.fingerprint),
+        }
+
+
+@dataclass
+class BenchReport:
+    """Everything measured for one scenario."""
+
+    name: str
+    quick: bool
+    optimized: TimedRun
+    reference: Optional[TimedRun] = None
+    check_ran: bool = False
+    check_passed: Optional[bool] = None
+
+    @property
+    def speedup(self) -> Optional[float]:
+        if self.reference is None or self.reference.events_per_s == 0:
+            return None
+        return self.optimized.events_per_s / self.reference.events_per_s
+
+    def to_json(self) -> Dict[str, Any]:
+        speedup = self.speedup
+        return {
+            "schema": SCHEMA_VERSION,
+            "name": self.name,
+            "quick": self.quick,
+            "unix_time": time.time(),
+            "optimized": self.optimized.to_json(),
+            "reference": (self.reference.to_json()
+                          if self.reference is not None else None),
+            "speedup_events_per_s": (round(speedup, 3)
+                                     if speedup is not None else None),
+            "check": {"ran": self.check_ran, "passed": self.check_passed},
+        }
+
+
+def fingerprint_digest(fingerprint: Any) -> str:
+    """Stable digest of a scenario fingerprint for the JSON report."""
+    return hashlib.sha256(repr(fingerprint).encode()).hexdigest()
+
+
+def _timed(name: str, quick: bool, reference: bool) -> TimedRun:
+    perfmode.set_reference(reference)
+    try:
+        # Keep collector pauses out of the measurement window; the
+        # optimized path's whole point is allocation behaviour.
+        gc.collect()
+        start = time.perf_counter()
+        result = run_scenario(name, quick=quick)
+        wall = time.perf_counter() - start
+    finally:
+        perfmode.set_reference(False)
+    return TimedRun("reference" if reference else "optimized", wall, result)
+
+
+def bench_scenario(name: str, quick: bool = False, baseline: bool = False,
+                   check: bool = False) -> BenchReport:
+    """Benchmark one scenario; optionally measure and verify the baseline."""
+    optimized = _timed(name, quick, reference=False)
+    report = BenchReport(name=name, quick=quick, optimized=optimized)
+    if baseline or check:
+        report.reference = _timed(name, quick, reference=True)
+        if check:
+            report.check_ran = True
+            report.check_passed = (
+                optimized.result.fingerprint
+                == report.reference.result.fingerprint)
+    return report
+
+
+def write_report(report: BenchReport, out_dir: str) -> str:
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{report.name}.json")
+    with open(path, "w") as fh:
+        json.dump(report.to_json(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def run_bench(scenarios: Optional[List[str]] = None, quick: bool = False,
+              baseline: bool = False, check: bool = False,
+              out_dir: str = ".") -> List[BenchReport]:
+    """Run the selected scenarios and write one ``BENCH_*.json`` each."""
+    names = scenarios if scenarios else list(SCENARIOS)
+    reports = []
+    for name in names:
+        report = bench_scenario(name, quick=quick, baseline=baseline,
+                                check=check)
+        path = write_report(report, out_dir)
+        line = (f"{name:14s} optimized {report.optimized.events_per_s:12,.0f}"
+                f" events/s ({report.optimized.wall_s:.3f}s wall)")
+        if report.reference is not None:
+            line += (f" | reference {report.reference.events_per_s:12,.0f}"
+                     f" events/s ({report.reference.wall_s:.3f}s wall)"
+                     f" | speedup {report.speedup:.2f}x")
+        if report.check_ran:
+            line += f" | check {'OK' if report.check_passed else 'FAILED'}"
+        print(line)
+        print(f"  wrote {path}")
+        reports.append(report)
+    return reports
+
+
+def main(args) -> int:
+    """Entry point for ``repro bench`` (argparse namespace from the CLI)."""
+    reports = run_bench(scenarios=args.scenario or None, quick=args.quick,
+                        baseline=args.baseline, check=args.check,
+                        out_dir=args.out_dir)
+    if args.check and not all(r.check_passed for r in reports):
+        failed = [r.name for r in reports if not r.check_passed]
+        print(f"CHECK FAILED: optimized and reference engines diverged "
+              f"on: {', '.join(failed)}")
+        return 1
+    return 0

@@ -1,0 +1,205 @@
+"""Benchmark scenarios for the simulation engine's measured hot paths.
+
+Each scenario is a self-contained function that builds a fresh
+:class:`~repro.sim.core.Simulator`, drives one hot-path-heavy workload
+to completion, and returns a :class:`ScenarioResult` holding throughput
+inputs (dispatched events, final sim time) plus a *fingerprint* — the
+exact simulation outcome (completion times, bytes completed) used by
+``repro bench --check`` to prove the optimized engine byte-identical to
+the retained reference paths.
+
+Scenarios deliberately mirror the paper's stress regimes: a
+full-Hyperion-scale shuffle wave (101 nodes, thousands of concurrent
+fabric flows), an SSD spill storm through a concurrency-degraded
+:class:`~repro.sim.fluid.FluidPipe`, an end-to-end Fig-8-style GroupBy
+job, and pure event-loop timer churn.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.spec import hyperion
+from repro.cluster.variability import LognormalSpeed
+from repro.core.engine import EngineOptions, run_job
+from repro.net import Fabric
+from repro.sim import FluidPipe, Simulator
+from repro.workloads import groupby_spec
+
+__all__ = ["SCENARIOS", "ScenarioResult", "run_scenario"]
+
+GB = 1024.0 ** 3
+MB = 1024.0 ** 2
+
+
+@dataclass
+class ScenarioResult:
+    """One scenario execution's outcome and throughput inputs."""
+
+    #: Events + timers dispatched by the simulator during the scenario.
+    events: int
+    #: Final simulated time (seconds).
+    sim_time: float
+    #: Exact simulation outcome; compared with ``==`` across engine modes.
+    fingerprint: Any
+    #: Scenario-specific scalar metrics for the JSON report.
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+
+def _shuffle_wave(quick: bool) -> ScenarioResult:
+    """Full-scale reduce-side shuffle wave on the fabric.
+
+    Every node runs a reducer fetching one partition slice from every
+    other node with a bounded fetch window, the way shuffle waves hit
+    the fabric in the paper's 101-node runs: thousands of flows total,
+    hundreds concurrent, a global rate recomputation per arrival and
+    departure.
+    """
+    n_nodes = 24 if quick else 101
+    window = 2 if quick else 4
+    sim = Simulator()
+    fab = Fabric(sim, n_nodes=n_nodes, nic_bw=4 * GB, latency=20e-6)
+    completions: List[Tuple[Tuple[int, int], float]] = []
+
+    def issue(reducer: int, pending: List[int]) -> None:
+        if not pending:
+            return
+        sender = pending.pop()
+        # Slight size variation keeps completion times distinct so the
+        # flow set churns instead of draining in lockstep.
+        size = 24 * MB + (sender * 131 + reducer * 17) % 4096 * 1024.0
+        ev = fab.transfer(sender, reducer, size, tag=(sender, reducer))
+
+        def on_done(e, reducer=reducer, pending=pending):
+            completions.append((e.value.tag, sim.now))
+            issue(reducer, pending)
+
+        ev.add_callback(on_done)
+
+    for reducer in range(n_nodes):
+        senders = [s for s in range(n_nodes) if s != reducer]
+        # Rotate so reducers start on distinct senders (wave skew).
+        senders = senders[reducer % len(senders):] + \
+            senders[:reducer % len(senders)]
+        senders.reverse()
+        for _ in range(window):
+            issue(reducer, senders)
+    sim.run()
+    return ScenarioResult(
+        events=sim.events_dispatched,
+        sim_time=sim.now,
+        fingerprint=(tuple(completions), fab.bytes_completed),
+        metrics={"n_flows": float(n_nodes * (n_nodes - 1)),
+                 "bytes_completed": fab.bytes_completed})
+
+
+def _ssd_spill(quick: bool) -> ScenarioResult:
+    """SSD-spill storm through a concurrency-degraded FluidPipe.
+
+    Many writers push chained spill blocks through one pipe whose
+    aggregate capacity decays with queue depth (the GC-interference
+    shape of Fig. 8d): every completion immediately issues the next
+    block at the same instant, the worst case for reallocation churn.
+    """
+    writers = 48 if quick else 192
+    blocks = 12 if quick else 48
+    sim = Simulator()
+    pipe = FluidPipe(sim, capacity=0.0, name="spill",
+                     capacity_fn=lambda n: 387 * MB / (1.0 + 0.02 * n))
+    completions: List[Tuple[Tuple[int, int], float]] = []
+
+    def chain(writer: int, k: int) -> None:
+        size = 8 * MB + (writer * 37 + k * 11) % 1024 * 1024.0
+        cap = 64 * MB if (writer + k) % 3 else math.inf
+        ev = pipe.transfer(size, cap=cap, tag=(writer, k))
+
+        def on_done(e, writer=writer, k=k):
+            completions.append((e.value.tag, sim.now))
+            if k + 1 < blocks:
+                chain(writer, k + 1)
+
+        ev.add_callback(on_done)
+
+    for writer in range(writers):
+        chain(writer, 0)
+    sim.run()
+    return ScenarioResult(
+        events=sim.events_dispatched,
+        sim_time=sim.now,
+        fingerprint=(tuple(completions), pipe.bytes_completed),
+        metrics={"n_flows": float(writers * blocks),
+                 "bytes_completed": pipe.bytes_completed})
+
+
+def _fig08_job(quick: bool) -> ScenarioResult:
+    """End-to-end Fig-8-style GroupBy with intermediate data on SSD."""
+    n_nodes = 4 if quick else 8
+    data = (4 if quick else 24) * GB
+    spec = groupby_spec(data, shuffle_store="ssd")
+    options = EngineOptions(seed=7)
+    cluster = Cluster(hyperion(n_nodes),
+                      speed_model=LognormalSpeed(sigma=0.18),
+                      seed=options.seed)
+    result = run_job(spec, options=options, cluster=cluster)
+    tasks = tuple(sorted(
+        (t.phase, t.task_id, t.node, t.started_at, t.finished_at)
+        for t in result.all_tasks()))
+    fingerprint = (result.job_time,
+                   tuple(sorted(result.dissection().items())),
+                   tasks,
+                   tuple(float(x) for x in result.node_intermediate))
+    return ScenarioResult(
+        events=cluster.sim.events_dispatched,
+        sim_time=result.job_time,
+        fingerprint=fingerprint,
+        metrics={"job_time_s": result.job_time,
+                 "n_tasks": float(len(tasks))})
+
+
+def _timer_churn(quick: bool) -> ScenarioResult:
+    """Pure event-loop churn: chained lightweight timers.
+
+    Measures the per-dispatch cost of ``schedule_callback`` — the single
+    most-allocated operation in a run — with no fluid machinery attached.
+    """
+    chains = 200 if quick else 1000
+    depth = 100 if quick else 400
+    sim = Simulator()
+    ticks: List[float] = []
+
+    def tick(chain: int, k: int) -> None:
+        if k >= depth:
+            ticks.append(sim.now)
+            return
+        sim.schedule_callback(1e-4 + 1e-7 * ((chain * 7 + k) % 13),
+                              tick, chain, k + 1)
+
+    for chain in range(chains):
+        sim.schedule_callback(1e-6 * chain, tick, chain, 0)
+    sim.run()
+    return ScenarioResult(
+        events=sim.events_dispatched,
+        sim_time=sim.now,
+        fingerprint=(tuple(ticks), sim.events_dispatched),
+        metrics={"n_timers": float(chains * depth)})
+
+
+SCENARIOS: Dict[str, Callable[[bool], ScenarioResult]] = {
+    "shuffle_wave": _shuffle_wave,
+    "ssd_spill": _ssd_spill,
+    "fig08_job": _fig08_job,
+    "timer_churn": _timer_churn,
+}
+
+
+def run_scenario(name: str, quick: bool = False) -> ScenarioResult:
+    """Execute one named scenario in the currently active engine mode."""
+    try:
+        fn = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; have {sorted(SCENARIOS)}") from None
+    return fn(quick)

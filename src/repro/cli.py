@@ -7,6 +7,8 @@ Subcommands::
         [--store ramdisk|ssd|lustre] [--elb] [--cad] [--delay-scheduling]
         [--speculation] [--failure-rate P] [--seed S]
         [--gantt] [--csv FILE] [--json FILE]
+    python -m repro bench [--quick] [--check] [--baseline]
+        [--scenario NAME]... [--out-dir DIR]
     python -m repro experiments ...      (alias of repro.experiments CLI)
 """
 
@@ -71,9 +73,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     run.add_argument("--json", metavar="FILE",
                      help="write full job metrics as JSON")
 
+    bench = sub.add_parser(
+        "bench", help="run the tracked perf benchmarks (BENCH_*.json)")
+    bench.add_argument("--quick", action="store_true",
+                       help="small scenario sizes (CI smoke)")
+    bench.add_argument("--check", action="store_true",
+                       help="also run the retained reference engine and "
+                            "assert byte-identical simulation results")
+    bench.add_argument("--baseline", action="store_true",
+                       help="also time the reference engine (speedup "
+                            "column) without the identity check")
+    bench.add_argument("--scenario", action="append", default=[],
+                       metavar="NAME",
+                       help="run only this scenario (repeatable); "
+                            "default: all")
+    bench.add_argument("--out-dir", default=".",
+                       help="directory for BENCH_<name>.json (default: .)")
+
     args = parser.parse_args(argv)
     if args.command == "describe-cluster":
         return _describe(args)
+    if args.command == "bench":
+        from repro.bench import main as bench_main
+        return bench_main(args)
     return _run(args)
 
 

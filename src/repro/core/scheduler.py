@@ -89,8 +89,9 @@ class StageRunner:
         if self.done.triggered:
             return
         now = self.sim.now
-        self.sim.trace("offer", free_slots=list(self.free_slots),
-                       pending=len(self.queue))
+        if self.sim._tracing:
+            self.sim.trace("offer", free_slots=list(self.free_slots),
+                           pending=len(self.queue))
         while len(self.queue) > 0:
             free = [n for n in range(self.n_nodes) if self.free_slots[n] > 0]
             if not free:
@@ -110,17 +111,20 @@ class StageRunner:
                         # timer can be armed.
                         throttle_retry = t if throttle_retry is None \
                             else min(throttle_retry, t)
-                        self.sim.trace("throttle", node=node,
-                                       reason="pacing", retry_at=t)
+                        if self.sim._tracing:
+                            self.sim.trace("throttle", node=node,
+                                           reason="pacing", retry_at=t)
                     else:
                         # Blocked on concurrency; the next completion or
                         # abandoned attempt on the node re-offers.
-                        self.sim.trace("throttle", node=node,
-                                       reason="concurrency")
+                        if self.sim._tracing:
+                            self.sim.trace("throttle", node=node,
+                                           reason="concurrency")
                     continue
                 task = self.policy.select(node, self.queue, now)
                 if task is None:
-                    self.sim.trace("decline", node=node)
+                    if self.sim._tracing:
+                        self.sim.trace("decline", node=node)
                     continue
                 self._launch(task, node)
                 launched_any = True
@@ -138,13 +142,15 @@ class StageRunner:
         self._retry_token += 1
         token = self._retry_token
         self._retry_deadline = when
-        self.sim.trace("retry-armed", at=when, token=token)
+        if self.sim._tracing:
+            self.sim.trace("retry-armed", at=when, token=token)
         self.sim.schedule_callback(simtime.delay_until(self.sim.now, when),
                                    self._on_retry, token)
 
     def _on_retry(self, token: int) -> None:
         stale = token != self._retry_token
-        self.sim.trace("retry-fired", token=token, stale=stale)
+        if self.sim._tracing:
+            self.sim.trace("retry-fired", token=token, stale=stale)
         if not stale:
             self._retry_deadline = None
             self._offer()
@@ -195,7 +201,8 @@ class StageRunner:
         if horizon is not None:
             self._spec_token = getattr(self, "_spec_token", 0) + 1
             token = self._spec_token
-            self.sim.trace("spec-armed", at=horizon, token=token)
+            if self.sim._tracing:
+                self.sim.trace("spec-armed", at=horizon, token=token)
             self.sim.schedule_callback(
                 simtime.delay_until(now, simtime.next_after(now, horizon)),
                 self._on_spec_check, token)
@@ -227,8 +234,9 @@ class StageRunner:
         self.free_slots[node] -= 1
         if self.throttler is not None:
             self.throttler.on_launch(node, self.sim.now)
-        self.sim.trace("launch", task=task.task_id, node=node,
-                       speculative=speculative)
+        if self.sim._tracing:
+            self.sim.trace("launch", task=task.task_id, node=node,
+                           speculative=speculative)
         proc = self.sim.process(self._run_task(task, node, speculative),
                                 name=f"task:{task.phase}#{task.task_id}")
         self._attempts.setdefault(task.task_id, []).append(
@@ -261,7 +269,8 @@ class StageRunner:
             # would wait forever for a completion that cannot come.
             if self.throttler is not None:
                 self.throttler.on_abandon(node)
-            self.sim.trace("interrupt", task=task.task_id, node=node)
+            if self.sim._tracing:
+                self.sim.trace("interrupt", task=task.task_id, node=node)
             self._offer()
             return
         if failed:
@@ -278,8 +287,9 @@ class StageRunner:
 
         finished = self.sim.now
         self._finished.add(task.task_id)
-        self.sim.trace("complete", task=task.task_id, node=node,
-                       speculative=speculative)
+        if self.sim._tracing:
+            self.sim.trace("complete", task=task.task_id, node=node,
+                           speculative=speculative)
         record = TaskRecord(task_id=task.task_id, phase=task.phase,
                             node=node, queued_at=task.queued_at,
                             started_at=started, finished_at=finished,
@@ -323,7 +333,9 @@ class StageRunner:
     def _handle_failure(self, task: SimTask, node: int) -> None:
         count = self._failures.get(task.task_id, 0) + 1
         self._failures[task.task_id] = count
-        self.sim.trace("failure", task=task.task_id, node=node, count=count)
+        if self.sim._tracing:
+            self.sim.trace("failure", task=task.task_id, node=node,
+                           count=count)
         if count > self.max_attempt_failures:
             if not self.done.triggered:
                 self.done.fail(StageFailed(

@@ -15,6 +15,17 @@ NumPy — shuffles put thousands of concurrent flows on the fabric, and a
 rate recomputation happens at every flow arrival and departure (see the
 profiling guidance in the repository's HPC coding guides: vectorise the
 measured hotspot, nothing else).
+
+Hot-path notes (see DESIGN.md §8): flow state lives in a
+:class:`~repro.sim.flowarray.FlowTable` — amortized-doubling
+preallocated columns behind a live-length cursor — so an arrival is an
+O(1) write instead of five ``np.append`` full-array copies, and a
+departure is an order-preserving compaction instead of a five-array
+boolean-mask rebuild plus a Python loop over every live flow.
+Per-node tx/rx rate accumulators are maintained at reallocation so
+:meth:`Fabric.utilization` is an O(1) read.  The pre-optimization code
+paths are retained behind :mod:`repro.sim.perfmode` so
+``repro bench --check`` can prove the optimized fabric byte-identical.
 """
 
 from __future__ import annotations
@@ -24,7 +35,10 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 import numpy as np
 
+from repro.net import fastalloc
+from repro.sim import perfmode
 from repro.sim.events import Event
+from repro.sim.flowarray import FlowTable
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.core import Simulator
@@ -36,7 +50,13 @@ _EPS = 1e-9
 
 
 class NetFlow:
-    """One transfer in flight through the fabric."""
+    """One transfer in flight through the fabric.
+
+    A thin view over the fabric's columnar flow state: the authoritative
+    ``remaining``/``rate`` live in the arrays; the object mirrors them at
+    allocation and completion boundaries for inspection and carries the
+    completion event and tag.
+    """
 
     __slots__ = ("src", "dst", "size", "remaining", "rate", "cap", "done",
                  "started_at", "tag")
@@ -92,7 +112,22 @@ class Fabric:
         self.small_flow_bytes = float(small_flow_bytes)
         self._realloc_pending = False
         self.flows: List[NetFlow] = []
-        # Vectorised flow state, parallel to ``self.flows``.
+        # Columnar flow state, parallel to ``self.flows`` (optimized path).
+        self._tab = FlowTable(src=np.int64, dst=np.int64, cap=np.float64,
+                              remaining=np.float64, rate=np.float64)
+        # Per-node rate accumulators, refreshed at every reallocation and
+        # compaction, so ``utilization`` is an O(1) read.
+        self._tx_rate = np.zeros(n_nodes)
+        self._rx_rate = np.zeros(n_nodes)
+        # Allocator scratch over the 2*n_nodes NIC channels (tx slots
+        # 0..n-1, rx slots n..2n-1), reused across reallocations so the
+        # per-round cost is ufunc dispatch, not allocation.
+        self._ab_heads = np.empty(2 * n_nodes)
+        self._ab_q = np.empty(2 * n_nodes)
+        self._ab_tmp = np.empty(2 * n_nodes)
+        self._ab_sat = np.empty(2 * n_nodes, dtype=bool)
+        self._ab_ones = np.ones(64)
+        # Reference-path flow state (perfmode), parallel to ``self.flows``.
         self._src = np.empty(0, dtype=np.int64)
         self._dst = np.empty(0, dtype=np.int64)
         self._caps = np.empty(0)
@@ -126,11 +161,15 @@ class Fabric:
             return done
         self._advance()
         self.flows.append(flow)
-        self._src = np.append(self._src, flow.src)
-        self._dst = np.append(self._dst, flow.dst)
-        self._caps = np.append(self._caps, flow.cap)
-        self._remaining = np.append(self._remaining, flow.remaining)
-        self._rates = np.append(self._rates, 0.0)
+        if perfmode.REFERENCE:
+            self._src = np.append(self._src, flow.src)
+            self._dst = np.append(self._dst, flow.dst)
+            self._caps = np.append(self._caps, flow.cap)
+            self._remaining = np.append(self._remaining, flow.remaining)
+            self._rates = np.append(self._rates, 0.0)
+        else:
+            self._tab.append(flow.src, flow.dst, flow.cap, flow.remaining,
+                             0.0)
         self._schedule_realloc()
         return done
 
@@ -144,12 +183,15 @@ class Fabric:
         return len(self.flows)
 
     def utilization(self, node: int) -> Dict[str, float]:
-        """Current tx/rx byte rates at ``node``."""
-        if len(self.flows) == 0:
-            return {"tx": 0.0, "rx": 0.0}
-        tx = float(self._rates[self._src == node].sum())
-        rx = float(self._rates[self._dst == node].sum())
-        return {"tx": tx, "rx": rx}
+        """Current tx/rx byte rates at ``node`` (an O(1) accumulator read)."""
+        if perfmode.REFERENCE:
+            if len(self.flows) == 0:
+                return {"tx": 0.0, "rx": 0.0}
+            tx = float(self._rates[self._src == node].sum())
+            rx = float(self._rates[self._dst == node].sum())
+            return {"tx": tx, "rx": rx}
+        return {"tx": float(self._tx_rate[node]),
+                "rx": float(self._rx_rate[node])}
 
     # -- fluid machinery -------------------------------------------------------
     def _advance(self) -> None:
@@ -158,6 +200,39 @@ class Fabric:
         self._last_advance = now
         if dt <= 0 or not self.flows:
             return
+        if perfmode.REFERENCE:
+            self._advance_reference(dt)
+            return
+        tab = self._tab
+        remaining = tab.col("remaining")
+        remaining -= tab.col("rate") * dt
+        finished_idx = np.flatnonzero(remaining <= 1e-6)
+        if finished_idx.size == 0:
+            return
+        flows = self.flows
+        schedule = self.sim.schedule_callback
+        latency = self.latency
+        indices = finished_idx.tolist()
+        # Completion events enqueue in ascending flow order — the same
+        # FIFO order the reference path produces — so same-timestamp
+        # downstream scheduling stays byte-identical.
+        for i in indices:
+            f = flows[i]
+            f.remaining = 0.0
+            self.bytes_completed += f.size
+            # Tail latency: the last byte still needs to propagate.
+            schedule(latency, f.done.succeed, f)
+        if finished_idx.size == len(flows):
+            flows.clear()
+            tab.clear()
+        else:
+            for i in reversed(indices):
+                del flows[i]
+            tab.remove(finished_idx)
+        self._refresh_node_rates()
+
+    def _advance_reference(self, dt: float) -> None:
+        """The retained pre-optimization advancement (perfmode)."""
         self._remaining -= self._rates * dt
         finished_mask = self._remaining <= 1e-6
         if not finished_mask.any():
@@ -178,6 +253,19 @@ class Fabric:
         self._caps = self._caps[keep]
         self._remaining = self._remaining[keep]
         self._rates = self._rates[keep]
+
+    def _refresh_node_rates(self) -> None:
+        """Rebuild the O(1) per-node tx/rx rate accumulators."""
+        tab = self._tab
+        if tab.n == 0:
+            self._tx_rate[:] = 0.0
+            self._rx_rate[:] = 0.0
+            return
+        rates = tab.col("rate")
+        self._tx_rate = np.bincount(tab.col("src"), weights=rates,
+                                    minlength=self.n_nodes)
+        self._rx_rate = np.bincount(tab.col("dst"), weights=rates,
+                                    minlength=self.n_nodes)
 
     def _schedule_realloc(self) -> None:
         """Coalesce all same-timestamp flow changes into one allocation.
@@ -201,10 +289,15 @@ class Fabric:
         self._timer_token += 1
         token = self._timer_token
         if len(self.flows):
-            positive = self._rates > 0
+            if perfmode.REFERENCE:
+                remaining, rates = self._remaining, self._rates
+            else:
+                remaining = self._tab.col("remaining")
+                rates = self._tab.col("rate")
+            positive = rates > 0
             if positive.any():
                 horizon = float(
-                    (self._remaining[positive] / self._rates[positive]).min())
+                    (remaining[positive] / rates[positive]).min())
                 # Clamp: a sub-ULP horizon must still advance the clock,
                 # or the timer respins at this timestamp forever.
                 self.sim.schedule_callback(max(horizon, 1e-9),
@@ -217,6 +310,13 @@ class Fabric:
         self._schedule_realloc()
 
     def _assign_rates(self) -> None:
+        """Progressive-filling max–min allocation (mode dispatcher)."""
+        if perfmode.REFERENCE:
+            self._assign_rates_reference()
+        else:
+            self._assign_rates_fast()
+
+    def _assign_rates_reference(self) -> None:
         """Vectorised progressive-filling max–min allocation.
 
         Iterations are bounded by the number of distinct binding
@@ -278,3 +378,156 @@ class Fabric:
         self._rates = rates
         for f, r in zip(self.flows, rates):
             f.rate = float(r)
+
+    def _assign_rates_fast(self) -> None:
+        """Byte-identical progressive filling over a compressed active set.
+
+        Same algorithm and same float sequences as
+        :meth:`_assign_rates_reference`, restructured around three exact
+        identities so each round costs ~a dozen ufunc dispatches on
+        shrinking arrays instead of ~three dozen on full-width ones:
+
+        * Every still-active flow has received the identical sequence of
+          water-level increments, so per-flow rates collapse to one
+          scalar ``level`` (the fold ``((0 + inc_1) + inc_2) + ...`` is
+          exactly what ``rates[active] += inc`` performs elementwise);
+          a flow's final rate is the level at its freeze round.
+        * tx and rx NIC channels live in one ``2 * n_nodes`` array
+          (rx slots offset by ``n_nodes``): one bincount and one
+          masked division replace the per-direction pairs, and the min
+          over the union equals the reference's min-of-mins bitwise.
+        * Frozen flows are compacted out of the working set each round;
+          bincount and min are order-independent at the bit level, so
+          compression cannot perturb any intermediate value.
+
+        Rates are scattered to original flow positions through ``idx``,
+        so the published rate vector matches the reference elementwise.
+
+        When the optional C kernel (:mod:`repro.net.fastalloc`) compiled,
+        the whole multi-round loop runs in one native call — same
+        arithmetic, same bits — and this NumPy loop is the fallback.
+        """
+        tab = self._tab
+        m = tab.n
+        if m == 0:
+            self._tx_rate[:] = 0.0
+            self._rx_rate[:] = 0.0
+            return
+        rate = tab.col("rate")
+        if not (fastalloc.AVAILABLE and fastalloc.assign_rates(
+                self.n_nodes, tab.col("src"), tab.col("dst"),
+                tab.col("cap"), self.nic_bw, self.bisection_bw, rate)):
+            rate[:] = self._assign_rates_numpy()
+        self._refresh_node_rates()
+        for f, r in zip(self.flows, rate.tolist()):
+            f.rate = r
+
+    def _assign_rates_numpy(self) -> np.ndarray:
+        """Pure-NumPy fast allocator (see :meth:`_assign_rates_fast`)."""
+        tab = self._tab
+        m = tab.n
+        n = self.n_nodes
+        caps = tab.col("cap")
+        heads = self._ab_heads
+        heads[:] = self.nic_bw
+        q = self._ab_q
+        tmp = self._ab_tmp
+        sat = self._ab_sat
+        ones = self._ab_ones
+        if ones.size < 2 * m:
+            self._ab_ones = ones = np.ones(max(2 * m, 2 * ones.size))
+        # Endpoint matrix: row 0 = tx slot (src), row 1 = rx slot (dst+n).
+        ep = np.empty((2, m), dtype=np.int64)
+        ep[0] = tab.col("src")
+        np.add(tab.col("dst"), n, out=ep[1])
+        idx = np.arange(m)
+        out = np.empty(m)
+        level = 0.0
+        core_head = self.bisection_bw
+        nic_tol = 1e-7 * self.nic_bw
+        finite_cap = np.isfinite(caps)
+        has_caps = bool(finite_cap.any())
+        if has_caps:
+            c = caps.copy()
+            ctol = np.where(finite_cap, 1e-7 * caps + 1e-12, 0.0)
+            fin = finite_cap.copy()
+        # Hoisted ufuncs: the loop runs ~a dozen times per reallocation
+        # and its cost is dispatch, not data.
+        bincount = np.bincount
+        divide = np.divide
+        multiply = np.multiply
+        subtract = np.subtract
+        less_equal = np.less_equal
+        minreduce = np.minimum.reduce
+        count_nonzero = np.count_nonzero
+        isfinite = math.isfinite
+        inf = np.inf
+        nn2 = 2 * n
+        # Plain (unmasked) division: idle channels have head=nic_bw>0 and
+        # count 0, giving +inf; saturated channels are parked at
+        # head=+inf below, also giving +inf — both fall out of the min
+        # exactly as the reference's used-channel mask drops them.
+        old_err = np.seterr(divide="ignore")
+        try:
+            while True:
+                m_cur = ep.shape[1]
+                # Weighted bincount returns float64 directly: exact
+                # integer counts without a per-round int->float cast.
+                cnt = bincount(ep.ravel(), ones[:2 * m_cur], nn2)
+                divide(heads, cnt, out=q)
+                inc = float(minreduce(q))
+                if core_head is not None:
+                    inc = min(inc, core_head / m_cur)
+                if has_caps:
+                    inc = min(inc, float(minreduce(c - level)))
+                if not isfinite(inc) or inc < 0:
+                    inc = 0.0
+                level += inc
+                multiply(cnt, inc, out=tmp)
+                subtract(heads, tmp, out=heads)
+                if core_head is not None:
+                    core_head -= inc * m_cur
+                # Channels saturating *this* round: parked channels sit at
+                # +inf and idle ones at nic_bw, so only live crossings
+                # match — and an already-saturated channel has no active
+                # flows left to freeze, making fresh == newly-freezing.
+                less_equal(heads, nic_tol, out=sat)
+                if core_head is not None and \
+                        core_head <= 1e-7 * (self.bisection_bw or 1.0):
+                    fr = np.ones(m_cur, dtype=bool)
+                else:
+                    fr = None
+                    if has_caps:
+                        # Post-increment margins, as the reference's
+                        # ``caps - rates`` freeze check sees them.
+                        fr = (c - level) <= ctol
+                        fr &= fin
+                    if sat.any():
+                        heads[sat] = inf
+                        g = sat[ep]
+                        if fr is None:
+                            fr = g[0] | g[1]
+                        else:
+                            fr |= g[0]
+                            fr |= g[1]
+                    if fr is None:
+                        break  # no progress possible: freeze rest as-is
+                nf = count_nonzero(fr)
+                if nf == 0:
+                    break  # no progress possible: freeze rest as-is
+                out[idx[fr]] = level
+                if nf == m_cur:
+                    idx = idx[:0]
+                    break
+                keep = ~fr
+                ep = ep[:, keep]
+                idx = idx[keep]
+                if has_caps:
+                    c = c[keep]
+                    ctol = ctol[keep]
+                    fin = fin[keep]
+        finally:
+            np.seterr(**old_err)
+        if idx.size:
+            out[idx] = level
+        return out

@@ -12,13 +12,24 @@ all remaining-byte counters and reschedules the next completion.  This is
 the standard flow-level (fluid) approximation used by network and storage
 simulators: per-packet behaviour is abstracted away but contention,
 fair-sharing, and completion-time dynamics are preserved.
+
+Hot-path notes (see DESIGN.md §8): finished flows are compacted out of
+the flow list in a single order-preserving pass (``list.remove`` per
+completion is O(n²) across a drain), the sorted-cap order feeding
+:func:`fair_share` is cached between events while the flow set is
+unchanged, and same-timestamp reallocations are coalesced behind a
+pending flag exactly as ``Fabric._schedule_realloc`` does.  The
+pre-optimization code paths are retained behind
+:mod:`repro.sim.perfmode` so ``repro bench --check`` can prove the
+optimized pipe byte-identical.
 """
 
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Any, Callable, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence
 
+from repro.sim import perfmode
 from repro.sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -27,12 +38,18 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["FluidPipe", "Flow", "fair_share"]
 
 
-def fair_share(capacity: float, caps: List[float]) -> List[float]:
+def fair_share(capacity: float, caps: Sequence[float],
+               order: Optional[Sequence[int]] = None) -> List[float]:
     """Max–min fair allocation of ``capacity`` among flows with rate caps.
 
     Returns one rate per entry in ``caps``.  Uncapped flows should pass
     ``math.inf``.  The result is work-conserving: either every flow is at
     its cap or the full capacity is used.
+
+    ``order`` is an optional precomputed ascending-cap processing order
+    (the stable sort of ``range(len(caps))`` by cap); callers that
+    reallocate repeatedly over an unchanged flow set pass their cached
+    order to skip the O(n log n) sort.
     """
     n = len(caps)
     if n == 0:
@@ -41,7 +58,8 @@ def fair_share(capacity: float, caps: List[float]) -> List[float]:
     remaining = capacity
     # Process flows in ascending cap order; each round gives every unfixed
     # flow an equal share, fixing flows whose cap is below that share.
-    order = sorted(range(n), key=lambda i: caps[i])
+    if order is None:
+        order = sorted(range(n), key=caps.__getitem__)
     unfixed = n
     for idx in order:
         share = remaining / unfixed
@@ -98,6 +116,11 @@ class FluidPipe:
         self.flows: List[Flow] = []
         self._last_advance = sim.now
         self._timer_token = 0
+        self._realloc_pending = False
+        # Cached ascending-cap processing order for fair_share, valid
+        # while the flow set is unchanged (None = recompute).
+        self._order: Optional[List[int]] = None
+        self._caps_cache: List[float] = []
         self.bytes_completed = 0.0
 
     # -- public API -------------------------------------------------------
@@ -113,9 +136,30 @@ class FluidPipe:
 
     @property
     def load(self) -> float:
-        """Total bytes still in flight."""
+        """Total bytes still in flight, computed from elapsed time.
+
+        Side-effect free: a read never mutates flow state or fires
+        completion events (use :meth:`advance` for that).  Flows that
+        would already have drained at the current rates contribute zero.
+        """
+        dt = self.sim.now - self._last_advance
+        if dt <= 0:
+            return sum(f.remaining for f in self.flows)
+        total = 0.0
+        for f in self.flows:
+            left = f.remaining - f.rate * dt
+            if left > 0.0:
+                total += left
+        return total
+
+    def advance(self) -> None:
+        """Apply current rates up to the present, firing any completions.
+
+        The explicit form of the state advancement every flow event
+        performs implicitly; external observers that need exact flow
+        state (rather than the computed :attr:`load`) call this first.
+        """
         self._advance()
-        return sum(f.remaining for f in self.flows)
 
     def set_capacity(self, capacity: float) -> None:
         """Change the static capacity (takes effect immediately)."""
@@ -144,7 +188,11 @@ class FluidPipe:
             return done
         self._advance()
         self.flows.append(flow)
-        self._reallocate()
+        self._order = None
+        if perfmode.REFERENCE:
+            self._reallocate()
+        else:
+            self._schedule_realloc()
         return done
 
     # -- internals ---------------------------------------------------------
@@ -155,6 +203,37 @@ class FluidPipe:
         self._last_advance = now
         if dt <= 0 or not self.flows:
             return
+        if perfmode.REFERENCE:
+            self._advance_reference(dt)
+            return
+        # Single order-preserving pass: decrement every counter and
+        # compact survivors down over the holes finished flows leave.
+        # The reference path's list.remove per completion re-scans the
+        # list every time — O(n²) across a full drain.
+        flows = self.flows
+        finished: Optional[List[Flow]] = None
+        write = 0
+        for f in flows:
+            f.remaining -= f.rate * dt
+            if f.remaining <= 1e-6:
+                f.remaining = 0.0
+                if finished is None:
+                    finished = [f]
+                else:
+                    finished.append(f)
+            else:
+                flows[write] = f
+                write += 1
+        if finished is None:
+            return
+        del flows[write:]
+        self._order = None
+        for f in finished:
+            self.bytes_completed += f.size
+            f.done.succeed(f)
+
+    def _advance_reference(self, dt: float) -> None:
+        """The retained pre-optimization advancement (perfmode)."""
         finished = []
         for f in self.flows:
             f.remaining -= f.rate * dt
@@ -166,10 +245,37 @@ class FluidPipe:
             self.bytes_completed += f.size
             f.done.succeed(f)
 
+    def _schedule_realloc(self) -> None:
+        """Coalesce all same-timestamp flow changes into one allocation.
+
+        Chained transfers complete and immediately issue the next request
+        at the same simulated instant; recomputing rates once per instant
+        instead of once per change halves the allocator load (and calls
+        ``capacity_fn`` once, with the settled flow count).
+        """
+        if self._realloc_pending:
+            return
+        self._realloc_pending = True
+        self.sim.schedule_callback(0.0, self._do_realloc)
+
+    def _do_realloc(self) -> None:
+        self._realloc_pending = False
+        self._advance()   # collect completions from late same-time changes
+        self._reallocate()
+
     def _reallocate(self) -> None:
         """Recompute fair-share rates and reschedule the completion timer."""
         if self.flows:
-            rates = fair_share(self.capacity, [f.cap for f in self.flows])
+            if perfmode.REFERENCE or self._order is None:
+                caps = [f.cap for f in self.flows]
+                order = sorted(range(len(caps)), key=caps.__getitem__)
+                if not perfmode.REFERENCE:
+                    self._caps_cache = caps
+                    self._order = order
+            else:
+                caps = self._caps_cache
+                order = self._order
+            rates = fair_share(self.capacity, caps, order)
             for f, r in zip(self.flows, rates):
                 f.rate = r
         self._timer_token += 1
@@ -189,4 +295,7 @@ class FluidPipe:
         if token != self._timer_token:
             return  # stale timer; a newer reallocation superseded it
         self._advance()
-        self._reallocate()
+        if perfmode.REFERENCE:
+            self._reallocate()
+        else:
+            self._schedule_realloc()

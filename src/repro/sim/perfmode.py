@@ -1,0 +1,49 @@
+"""Global switch between the optimized and reference engine paths.
+
+The simulation kernel keeps two implementations of its measured hot
+paths: the optimized one (amortized flow-state arrays, lightweight
+timer heap entries, cached fair-share orders) and the original
+reference one.  Both follow the same determinism contract — events at
+equal timestamps run in (priority, FIFO) order — and must produce
+byte-identical simulation results; ``repro bench --check`` asserts
+this on every benchmark scenario.
+
+The mode is a process-global flag consulted at call time.  It must not
+be flipped in the middle of a simulation: objects built in one mode
+may carry state the other path does not maintain.  Flip it only
+between fresh :class:`~repro.sim.core.Simulator` instances, ideally
+through the :func:`reference_mode` context manager.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["is_reference", "set_reference", "reference_mode"]
+
+#: True while the retained (pre-optimization) code paths are active.
+REFERENCE = False
+
+
+def is_reference() -> bool:
+    """Whether the reference (pre-optimization) paths are active."""
+    return REFERENCE
+
+
+def set_reference(flag: bool) -> None:
+    """Select the reference (True) or optimized (False) engine paths."""
+    global REFERENCE
+    REFERENCE = bool(flag)
+
+
+@contextmanager
+def reference_mode() -> Iterator[None]:
+    """Run a block under the reference engine paths, then restore."""
+    global REFERENCE
+    prev = REFERENCE
+    REFERENCE = True
+    try:
+        yield
+    finally:
+        REFERENCE = prev

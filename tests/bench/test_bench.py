@@ -1,0 +1,90 @@
+"""Benchmark harness: scenarios run, the JSON schema holds, check passes.
+
+Uses ``quick=True`` scenario scales throughout so the whole module stays
+inside normal test-suite budgets; the full-scale numbers live in
+``repro bench`` runs and CI's bench-smoke job.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.harness import (BenchReport, bench_scenario,
+                                 fingerprint_digest, run_bench, write_report)
+from repro.bench.scenarios import SCENARIOS, run_scenario
+
+
+class TestScenarios:
+    def test_registry_has_the_four_macro_scenarios(self):
+        assert set(SCENARIOS) == {"shuffle_wave", "ssd_spill",
+                                  "fig08_job", "timer_churn"}
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_quick_scenario_runs(self, name):
+        result = run_scenario(name, quick=True)
+        assert result.events > 0
+        assert result.sim_time > 0
+        assert result.fingerprint  # non-empty outcome to check against
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ValueError):
+            run_scenario("nope", quick=True)
+
+    def test_fingerprint_is_deterministic(self):
+        a = run_scenario("timer_churn", quick=True)
+        b = run_scenario("timer_churn", quick=True)
+        assert a.fingerprint == b.fingerprint
+        assert a.events == b.events
+
+
+class TestCheck:
+    @pytest.mark.parametrize("name", ["timer_churn", "ssd_spill"])
+    def test_optimized_matches_reference(self, name):
+        report = bench_scenario(name, quick=True, check=True)
+        assert report.check_ran
+        assert report.check_passed is True
+        assert report.speedup is not None
+
+    def test_no_baseline_means_no_reference(self):
+        report = bench_scenario("timer_churn", quick=True)
+        assert report.reference is None
+        assert report.speedup is None
+        assert not report.check_ran
+
+
+class TestReportSchema:
+    def test_json_fields(self, tmp_path):
+        report = bench_scenario("timer_churn", quick=True, check=True)
+        path = write_report(report, str(tmp_path))
+        assert path.endswith("BENCH_timer_churn.json")
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert doc["schema"] == 1
+        assert doc["name"] == "timer_churn"
+        assert doc["quick"] is True
+        for mode in ("optimized", "reference"):
+            run = doc[mode]
+            assert run["events"] > 0
+            assert run["wall_s"] >= 0
+            assert run["events_per_s"] >= 0
+            assert len(run["fingerprint_sha256"]) == 64
+        assert doc["optimized"]["fingerprint_sha256"] == \
+            doc["reference"]["fingerprint_sha256"]
+        assert doc["check"] == {"ran": True, "passed": True}
+        assert isinstance(doc["speedup_events_per_s"], float)
+
+    def test_fingerprint_digest_stable(self):
+        fp = [("a", 1.0), ("b", 2.0)]
+        assert fingerprint_digest(fp) == fingerprint_digest(list(fp))
+        assert fingerprint_digest(fp) != fingerprint_digest(fp[:1])
+
+
+class TestRunBench:
+    def test_writes_one_report_per_scenario(self, tmp_path, capsys):
+        reports = run_bench(scenarios=["timer_churn"], quick=True,
+                            out_dir=str(tmp_path))
+        assert [r.name for r in reports] == ["timer_churn"]
+        assert isinstance(reports[0], BenchReport)
+        assert (tmp_path / "BENCH_timer_churn.json").exists()
+        out = capsys.readouterr().out
+        assert "timer_churn" in out and "events/s" in out
