@@ -37,11 +37,16 @@ from repro.cluster import (
 )
 from repro.core import (
     EngineOptions,
+    ExecutorLoss,
+    FaultPlan,
     JobResult,
     JobSpec,
     LocalContext,
+    NodeCrash,
     RDD,
+    ShuffleOutputLoss,
     SparkSim,
+    StorageDegradation,
     run_job,
 )
 
@@ -52,12 +57,17 @@ __all__ = [
     "ClusterSpec",
     "ConstantSpeed",
     "EngineOptions",
+    "ExecutorLoss",
+    "FaultPlan",
     "JobResult",
     "JobSpec",
     "LocalContext",
     "LognormalSpeed",
+    "NodeCrash",
     "NodeSpec",
     "RDD",
+    "ShuffleOutputLoss",
+    "StorageDegradation",
     "SparkConf",
     "SparkSim",
     "TABLE_I",

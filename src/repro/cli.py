@@ -5,8 +5,8 @@ Subcommands::
     python -m repro describe-cluster [--nodes N]
     python -m repro run --workload groupby --data-gb 40 [--nodes N]
         [--store ramdisk|ssd|lustre] [--elb] [--cad] [--delay-scheduling]
-        [--speculation] [--failure-rate P] [--seed S]
-        [--gantt] [--csv FILE] [--json FILE]
+        [--speculation] [--failure-rate P] [--crash NODE@T[:RESTART_T]]...
+        [--seed S] [--gantt] [--csv FILE] [--json FILE]
     python -m repro bench [--quick] [--check] [--baseline]
         [--scenario NAME]... [--out-dir DIR]
     python -m repro experiments ...      (alias of repro.experiments CLI)
@@ -22,6 +22,7 @@ from repro.analysis.timeline import gantt, to_csv, to_json
 from repro.cluster.spec import GB, MB, hyperion
 from repro.cluster.variability import LognormalSpeed
 from repro.core.engine import EngineOptions, run_job
+from repro.core.faults import FaultPlan, NodeCrash
 from repro.workloads import (
     grep_spec,
     groupby_spec,
@@ -64,6 +65,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     run.add_argument("--delay-scheduling", action="store_true")
     run.add_argument("--speculation", action="store_true")
     run.add_argument("--failure-rate", type=float, default=0.0)
+    run.add_argument("--crash", action="append", default=[],
+                     metavar="NODE@T[:RESTART_T]",
+                     help="crash NODE at sim time T, optionally restarting "
+                          "it (empty) at RESTART_T; repeatable")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--speed-sigma", type=float, default=0.18)
     run.add_argument("--gantt", action="store_true",
@@ -122,12 +127,30 @@ def _describe(args) -> int:
     return 0
 
 
+def _parse_crashes(specs: Sequence[str]) -> Optional[FaultPlan]:
+    """``NODE@T`` or ``NODE@T:RESTART_T`` → a :class:`FaultPlan`."""
+    if not specs:
+        return None
+    crashes = []
+    for raw in specs:
+        try:
+            node_part, times = raw.split("@", 1)
+            at_part, _, restart_part = times.partition(":")
+            crashes.append(NodeCrash(
+                at=float(at_part), node=int(node_part),
+                restart_at=float(restart_part) if restart_part else None))
+        except ValueError as exc:
+            raise SystemExit(
+                f"bad --crash {raw!r} (expected NODE@T[:RESTART_T]): {exc}")
+    return FaultPlan(tuple(crashes))
+
+
 def _run(args) -> int:
     spec = WORKLOADS[args.workload](args.data_gb * GB, args.store)
     options = EngineOptions(
         delay_scheduling=args.delay_scheduling, elb=args.elb, cad=args.cad,
         speculation=args.speculation, task_failure_rate=args.failure_rate,
-        seed=args.seed)
+        seed=args.seed, fault_plan=_parse_crashes(args.crash))
     result = run_job(spec, cluster_spec=hyperion(args.nodes),
                      options=options,
                      speed_model=LognormalSpeed(sigma=args.speed_sigma))

@@ -13,20 +13,30 @@ Two execution backends share one job model:
   :class:`~repro.core.cad.CongestionAwareDispatcher`.
 """
 
+from repro.core.faults import (ExecutorLoss, FaultPlan, NodeCrash,
+                               ShuffleOutputLoss, StorageDegradation)
 from repro.core.jobspec import JobSpec
-from repro.core.metrics import JobResult, PhaseMetrics, TaskRecord
+from repro.core.metrics import (FailureRecord, JobResult, PhaseMetrics,
+                                RecoveryMetrics, TaskRecord)
 from repro.core.engine import EngineOptions, SparkSim, run_job
 from repro.core.rdd import RDD
 from repro.core.local import LocalContext
 
 __all__ = [
     "EngineOptions",
+    "ExecutorLoss",
+    "FailureRecord",
+    "FaultPlan",
     "JobResult",
     "JobSpec",
     "LocalContext",
+    "NodeCrash",
     "PhaseMetrics",
     "RDD",
+    "RecoveryMetrics",
+    "ShuffleOutputLoss",
     "SparkSim",
+    "StorageDegradation",
     "TaskRecord",
     "run_job",
 ]

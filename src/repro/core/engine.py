@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
 import numpy as np
 
@@ -21,15 +21,18 @@ from repro.cluster.spec import ClusterSpec
 from repro.cluster.variability import SpeedModel
 from repro.core.cad import CongestionAwareDispatcher
 from repro.core.elb import EnhancedLoadBalancer
+from repro.core.faults import FaultInjector, FaultPlan, ShuffleAvailability
 from repro.core.jobspec import JobSpec
-from repro.core.metrics import JobResult, PhaseMetrics, TaskRecord
+from repro.core.metrics import (FailureRecord, JobResult, PhaseMetrics,
+                                RecoveryMetrics, TaskRecord)
 from repro.core.policies import (DelayScheduling, LocalityFirstPolicy,
                                  SchedulingPolicy)
 from repro.core.scheduler import StageRunner
 from repro.core.shuffle import FetchPlan, fetch_body
 from repro.core.speculation import SpeculativeExecution, TaskAttemptFailure
 from repro.core.task import SimTask
-from repro.sim.events import AllOf
+from repro.sim.events import AllOf, Event
+from repro.sim.resources import Resource
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.core import Simulator
@@ -61,6 +64,9 @@ class EngineOptions:
     #: error); failed attempts are re-queued Spark-style.
     task_failure_rate: float = 0.0
     seed: int = 0
+    #: Deterministic schedule of node crashes / executor losses / storage
+    #: degradations (DESIGN.md §9); ``None`` disables fault machinery.
+    fault_plan: Optional[FaultPlan] = None
 
     def with_(self, **kw) -> "EngineOptions":
         return replace(self, **kw)
@@ -88,6 +94,37 @@ class SparkSim:
         #: it is memory-resident): partition index -> node id.
         self._cache_locations: Dict[int, int] = {}
         self._phases: Dict[str, PhaseMetrics] = {}
+        #: Stored shuffle bytes by *logical* source (== the physical array
+        #: until a crash re-homes a source's recovered output elsewhere).
+        self.source_store_bytes = np.zeros(n)
+        # -- fault machinery (inert unless options.fault_plan is set) --
+        self._failure_log: List[FailureRecord] = []
+        self.recovery: Optional[RecoveryMetrics] = None
+        self._injector: Optional[FaultInjector] = None
+        self._liveness = None
+        self._availability: Optional[ShuffleAvailability] = None
+        self._active_runner: Optional[StageRunner] = None
+        #: Intermediate bytes produced by each partition (lineage record).
+        self._partition_intermediate: Dict[int, float] = {}
+        #: partition -> logical shuffle source it belongs to.
+        self._logical_of: Dict[int, int] = {}
+        #: logical source -> partitions awaiting lineage recovery.
+        self._pending_by_source: Dict[int, Set[int]] = {}
+        #: logical source -> "full" (recompute + re-store) | "store".
+        self._mode_by_source: Dict[int, str] = {}
+        self._recovery_records: List[TaskRecord] = []
+        self._recovery_proc = None
+        self._recovery_idle: Optional[Event] = None
+        self._awaiting_restart: Optional[Event] = None
+        self._recovery_started_at = 0.0
+        self._store_started = False
+        if self.options.fault_plan:
+            self.recovery = RecoveryMetrics()
+            self._injector = FaultInjector(self.sim, self.options.fault_plan,
+                                           n, nodes=cluster.nodes)
+            self._liveness = self._injector.liveness
+            self._availability = ShuffleAvailability(self.sim)
+            self._injector.add_listener(self)
         self._prepare_input()
 
     # -- setup -------------------------------------------------------------------
@@ -109,7 +146,8 @@ class SparkSim:
             base = LocalityFirstPolicy()
         if self.options.elb:
             base = EnhancedLoadBalancer(base, self.node_intermediate,
-                                        threshold=self.options.elb_threshold)
+                                        threshold=self.options.elb_threshold,
+                                        liveness=self._liveness)
         return base
 
     # -- main entry ----------------------------------------------------------------
@@ -118,11 +156,19 @@ class SparkSim:
         done = self.sim.process(self._job(), name=f"job:{self.spec.name}")
         self.sim.run(until=done)
         job_time = self.sim.now
+        if self._recovery_records:
+            self._phases["recovery"] = PhaseMetrics(
+                "recovery",
+                min(t.queued_at for t in self._recovery_records),
+                max(t.finished_at for t in self._recovery_records),
+                list(self._recovery_records))
         return JobResult(job_name=self.spec.name, job_time=job_time,
                          phases=self._phases,
                          node_intermediate=self.node_intermediate.copy(),
                          node_task_counts=self.node_task_counts.copy(),
-                         seed=self.options.seed)
+                         seed=self.options.seed,
+                         failures=list(self._failure_log),
+                         recovery=self.recovery)
 
     def _job(self):
         spec = self.spec
@@ -131,20 +177,29 @@ class SparkSim:
         for iteration in range(spec.iterations):
             records = yield self._run_compute_stage(iteration)
             compute_records.extend(records)
+            self._finish_stage()
         self._phases["compute"] = PhaseMetrics(
             "compute", compute_start, self.sim.now, compute_records)
+        # Map outputs lost to crashes must be re-materialised before the
+        # store stage snapshots per-node intermediates.
+        yield from self._recovery_barrier()
 
         if spec.shuffle_store is not None and spec.intermediate_bytes > 0:
             store_start = self.sim.now
             records = yield self._run_store_stage()
+            self._finish_stage()
             self._phases["store"] = PhaseMetrics(
                 "store", store_start, self.sim.now, records)
+            # Shuffle files lost mid-store are restored before reducers
+            # build their fetch plans from the store-bytes arrays.
+            yield from self._recovery_barrier()
 
             if spec.fetch_mode == "lustre-shared":
                 self._split_lustre_shuffle_files()
 
             fetch_start = self.sim.now
             records = yield self._run_fetch_stage()
+            self._finish_stage()
             self._phases["fetch"] = PhaseMetrics(
                 "fetch", fetch_start, self.sim.now, records)
         return None
@@ -170,7 +225,7 @@ class SparkSim:
                 preferred = tuple(self._blocks[i].locations)
             body = self._with_failures(
                 self._compute_body(i, size, noise[i], iteration),
-                f"compute-{iteration}")
+                f"compute-{iteration}", i)
             tasks.append(SimTask(task_id=i, phase="compute", body=body,
                                  preferred=preferred, nbytes=size))
 
@@ -178,17 +233,22 @@ class SparkSim:
 
         def on_complete(task: SimTask, node: int, rec: TaskRecord) -> None:
             if first_iteration:
-                self.node_intermediate[node] += \
-                    task.bytes * spec.intermediate_ratio
+                inter = task.bytes * spec.intermediate_ratio
+                self.node_intermediate[node] += inter
                 self.node_task_counts[node] += 1
                 self._cache_locations[task.task_id] = node
+                self._partition_intermediate[task.task_id] = inter
+                self._logical_of[task.task_id] = node
 
         runner = StageRunner(self.sim, self.cluster.n_nodes,
                              self.cluster.spec.node.cores, tasks,
                              policy=self._policy(),
                              speculation=self._speculation(),
                              task_overhead=self.conf.task_overhead,
-                             on_complete=on_complete)
+                             on_complete=on_complete,
+                             liveness=self._liveness,
+                             failure_log=self._failure_log)
+        self._active_runner = runner
         return runner.run()
 
     def _split_size(self, i: int) -> float:
@@ -235,6 +295,9 @@ class SparkSim:
     def _run_store_stage(self):
         spec = self.spec
         n = self.cluster.n_nodes
+        # From here on, a crashed node's shuffle output is addressed data:
+        # recovery must re-store it and gate dependent fetches.
+        self._store_started = True
         # One ShuffleMapTask per map output, pinned to the node holding it.
         outputs = []
         for node in range(n):
@@ -248,12 +311,13 @@ class SparkSim:
         tasks = [SimTask(task_id=k, phase="store",
                          body=self._with_failures(
                              self._store_body(node, nbytes, noise[k]),
-                             "store"),
+                             "store", k),
                          pinned=node, nbytes=nbytes)
                  for k, (node, nbytes) in enumerate(outputs)]
 
         def on_complete(task: SimTask, node: int, rec: TaskRecord) -> None:
             self.node_store_bytes[node] += task.bytes
+            self.source_store_bytes[node] += task.bytes
 
         throttler = None
         if self.options.cad:
@@ -266,7 +330,10 @@ class SparkSim:
                              tasks, policy=LocalityFirstPolicy(),
                              throttler=throttler,
                              task_overhead=self.conf.task_overhead,
-                             on_complete=on_complete)
+                             on_complete=on_complete,
+                             liveness=self._liveness,
+                             failure_log=self._failure_log)
+        self._active_runner = runner
         return runner.run()
 
     def _store_body(self, node: int, nbytes: float, noise: float):
@@ -307,19 +374,243 @@ class SparkSim:
                                     spec.compute_noise_sigma)
         plan = FetchPlan(cluster=self.cluster, spec=spec, conf=self.conf,
                          node_store_bytes=self.node_store_bytes,
-                         n_reducers=n_reducers)
+                         n_reducers=n_reducers,
+                         availability=self._availability,
+                         source_bytes=self.source_store_bytes
+                         if self._availability is not None else None)
         total_per_reducer = float(self.node_store_bytes.sum()) / n_reducers
         tasks = [SimTask(task_id=r, phase="fetch",
                          body=self._with_failures(
-                             fetch_body(plan, r, noise[r]), "fetch"),
+                             fetch_body(plan, r, noise[r]), "fetch", r),
                          nbytes=total_per_reducer)
                  for r in range(n_reducers)]
         runner = StageRunner(self.sim, self.cluster.n_nodes,
                              self.cluster.spec.node.cores, tasks,
                              policy=LocalityFirstPolicy(),
                              speculation=self._speculation(),
-                             task_overhead=self.conf.task_overhead)
+                             task_overhead=self.conf.task_overhead,
+                             liveness=self._liveness,
+                             failure_log=self._failure_log)
+        self._active_runner = runner
         return runner.run()
+
+    # -- fault handling & lineage recovery -----------------------------------------
+    #
+    # The engine is the FaultInjector's listener.  A node crash loses the
+    # memory-resident map outputs (and any node-local shuffle files) of
+    # every partition cached there; the lineage bookkeeping below — which
+    # partition produced how many intermediate bytes, and which logical
+    # shuffle source it belongs to — drives partial re-execution of
+    # exactly the producing map tasks, while per-source availability
+    # gates park dependent fetch tasks until the output is back.
+    # Invariant: all partitions of a logical source recover onto ONE
+    # host, so a single redirect per source suffices (DESIGN.md §9).
+
+    def _finish_stage(self) -> None:
+        runner, self._active_runner = self._active_runner, None
+        if runner is None or self.recovery is None:
+            return
+        self.recovery.crash_requeues += runner.crash_requeues
+        self.recovery.tasks_lost += len(runner.tasks_lost)
+
+    def _shuffling(self) -> bool:
+        return (self.spec.shuffle_store is not None
+                and self.spec.intermediate_bytes > 0)
+
+    def on_node_crash(self, node: int) -> None:
+        rec = self.recovery
+        rec.node_crashes += 1
+        lost = sorted(i for i, loc in self._cache_locations.items()
+                      if loc == node)
+        for i in lost:
+            del self._cache_locations[i]
+        self.node_intermediate[node] = 0.0
+        self.node_task_counts[node] = 0
+        if self.node_store_bytes[node] > 0:
+            rec.stored_bytes_lost += float(self.node_store_bytes[node])
+            self.node_store_bytes[node] = 0.0
+        if self._shuffling() and lost:
+            closed = set()
+            for i in lost:
+                s = self._logical_of.get(i, node)
+                self._pending_by_source.setdefault(s, set()).add(i)
+                self._mode_by_source[s] = "full"
+                # Before the store stage the output is not yet addressed
+                # data — nothing to gate; recovered partitions re-home.
+                if self._store_started and s not in closed:
+                    self._availability.close(s)
+                    closed.add(s)
+        if self._active_runner is not None:
+            self._active_runner.on_node_crash(node)
+        self._ensure_recovery()
+
+    def on_executor_loss(self, node: int) -> None:
+        self.recovery.executor_losses += 1
+        if self._active_runner is not None:
+            self._active_runner.on_executor_loss(node)
+
+    def on_node_restart(self, node: int) -> None:
+        self.recovery.node_restarts += 1
+        waiter, self._awaiting_restart = self._awaiting_restart, None
+        if waiter is not None and not waiter.triggered:
+            waiter.succeed()
+        if self._active_runner is not None:
+            self._active_runner.on_node_restart(node)
+
+    def on_shuffle_output_loss(self, node: int) -> None:
+        rec = self.recovery
+        if not self._shuffling() or self.node_store_bytes[node] <= 0:
+            return
+        rec.shuffle_losses += 1
+        rec.stored_bytes_lost += float(self.node_store_bytes[node])
+        self.node_store_bytes[node] = 0.0
+        affected = sorted(i for i, loc in self._cache_locations.items()
+                          if loc == node)
+        closed = set()
+        for i in affected:
+            s = self._logical_of.get(i, node)
+            self._pending_by_source.setdefault(s, set()).add(i)
+            # The map outputs survive in memory: re-store only — unless a
+            # crash already demanded full recomputation of this source.
+            if self._mode_by_source.get(s) != "full":
+                self._mode_by_source[s] = "store"
+            if s not in closed:
+                self._availability.close(s)
+                closed.add(s)
+        self._ensure_recovery()
+
+    def on_storage_degradation(self, ev) -> None:
+        self.recovery.storage_degradations += 1
+
+    def _ensure_recovery(self) -> None:
+        if not self._pending_by_source:
+            return
+        if self._recovery_proc is not None and self._recovery_proc.is_alive:
+            return
+        if self._recovery_idle is None or self._recovery_idle.triggered:
+            self._recovery_idle = Event(self.sim, name="recovery-idle")
+        self._recovery_started_at = self.sim.now
+        self._recovery_proc = self.sim.process(self._recovery_loop(),
+                                               name="recovery")
+
+    def _recovery_barrier(self):
+        """Wait out any in-flight lineage recovery (no-op when idle)."""
+        while True:
+            idle = self._recovery_idle
+            if idle is None or idle.triggered:
+                return
+            yield idle
+
+    def _pick_recovery_host(self,
+                            prefer: Optional[int] = None) -> Optional[int]:
+        live = self._liveness.live_nodes()
+        if not live:
+            return None
+        if prefer is not None and self._liveness.alive(prefer):
+            return prefer
+        return min(live, key=lambda n: (float(self.node_intermediate[n]
+                                              + self.node_store_bytes[n]), n))
+
+    def _recovery_loop(self):
+        """Recover lost sources one at a time, all partitions of a source
+        onto one host, bounded by that host's core count."""
+        while self._pending_by_source:
+            source = min(self._pending_by_source)
+            parts = sorted(self._pending_by_source[source])
+            mode = self._mode_by_source.get(source, "full")
+            prefer = None
+            if mode == "store":
+                # Store-only recovery must run where the surviving map
+                # outputs live; if that node has since died, a crash
+                # handler upgraded the mode — but guard anyway.
+                prefer = self._cache_locations.get(parts[0])
+                if prefer is None or not self._liveness.alive(prefer):
+                    mode = "full"
+                    self._mode_by_source[source] = "full"
+                    prefer = None
+            host = self._pick_recovery_host(prefer=prefer)
+            if host is None:
+                # Every node is dead: only a restart can unblock us (a
+                # plan with no restart surfaces as SimulationDeadlock
+                # with this process in the forensics).
+                self._awaiting_restart = Event(self.sim,
+                                               name="awaiting-restart")
+                yield self._awaiting_restart
+                continue
+            sem = Resource(self.sim, capacity=self.cluster.spec.node.cores,
+                           name="recovery-slots")
+            procs = [self.sim.process(
+                        self._recover_partition(source, i, mode, host, sem),
+                        name=f"recover:{source}/{i}")
+                     for i in parts]
+            yield AllOf(self.sim, procs)
+            still = self._pending_by_source.get(source)
+            if not still:
+                # The whole source is re-materialised (a mid-recovery
+                # crash of the host leaves partitions pending and loops).
+                self._pending_by_source.pop(source, None)
+                self._mode_by_source.pop(source, None)
+                if self._store_started:
+                    self.source_store_bytes[source] = sum(
+                        self._partition_intermediate.get(i, 0.0)
+                        for i, s in self._logical_of.items() if s == source)
+                    self._availability.open(source, host)
+        self.recovery.recovery_time += self.sim.now - self._recovery_started_at
+        idle, self._recovery_idle = self._recovery_idle, None
+        self._recovery_proc = None
+        if idle is not None and not idle.triggered:
+            idle.succeed()
+
+    def _recover_partition(self, source: int, i: int, mode: str, host: int,
+                           sem: Resource):
+        """Re-execute (and, post-store, re-store) one lost partition.
+
+        Commits nothing if ``host`` dies underneath us: the partition
+        stays pending and the loop re-picks a host."""
+        spec = self.spec
+        rec = self.recovery
+        queued = self.sim.now
+        with sem.request() as req:
+            yield req
+            inter = self._partition_intermediate.get(
+                i, self._split_size(i) * spec.intermediate_ratio)
+            if mode == "full":
+                body = self._compute_body(i, self._split_size(i),
+                                          self._recovery_noise(i),
+                                          iteration=0)
+                yield self.sim.process(body(host), name=f"recompute:{i}")
+                if not self._liveness.alive(host):
+                    return
+                self._cache_locations[i] = host
+                self._logical_of[i] = source if self._store_started else host
+                self.node_intermediate[host] += inter
+                self.node_task_counts[host] += 1
+                rec.tasks_recomputed += 1
+                rec.bytes_recomputed += inter
+            if self._store_started and spec.shuffle_store is not None \
+                    and inter > 0:
+                file_id = ("shuffle", host)
+                if spec.shuffle_store == "lustre":
+                    yield self.cluster.lustre.write(host, inter, file_id)
+                else:
+                    vol = self.cluster.nodes[host].volume(spec.shuffle_store)
+                    yield vol.write(inter, file_id)
+                if not self._liveness.alive(host):
+                    return
+                self.node_store_bytes[host] += inter
+                rec.bytes_restored += inter
+            self._pending_by_source[source].discard(i)
+            self._recovery_records.append(TaskRecord(
+                task_id=i, phase="recovery", node=host, queued_at=queued,
+                started_at=queued, finished_at=self.sim.now, bytes=inter))
+
+    def _recovery_noise(self, i: int) -> float:
+        sigma = self.spec.compute_noise_sigma
+        if sigma <= 0:
+            return 1.0
+        gen = np.random.default_rng(np.random.SeedSequence(
+            [self.options.seed & 0xFFFFFFFF, i] + list(b"recovery-noise")))
+        return float(gen.lognormal(mean=0.0, sigma=sigma))
 
     # -- helpers ----------------------------------------------------------------------
     def _speculation(self) -> Optional[SpeculativeExecution]:
@@ -329,15 +620,40 @@ class SparkSim:
             quantile=self.options.speculation_quantile,
             multiplier=self.options.speculation_multiplier)
 
-    def _with_failures(self, body_factory, stream: str):
-        """Wrap a task body factory with attempt-failure injection."""
+    def _with_failures(self, body_factory, stream: str, task_id: int):
+        """Wrap a task body factory with attempt-failure injection.
+
+        The draw is keyed by (seed, stream, task id) rather than by a
+        shared stream consumed in launch order: launch order depends on
+        the scheduling policy, so a shared stream would reshuffle *which*
+        tasks fail whenever ELB / CAD / speculation / delay scheduling
+        are toggled.  One canonical uniform per task fixes its count of
+        consecutive failing attempts (``P(>= k failures) = rate**k``,
+        the same marginals as independent per-attempt draws), making the
+        failed-task set a pure function of (seed, job) — and a
+        speculative twin of a healthy attempt runs the real body, never
+        a fresh draw.
+        """
         rate = self.options.task_failure_rate
         if rate <= 0:
             return body_factory
-        gen = self.rng(f"failures:{stream}:{self.options.seed}")
+        seed = self.options.seed & 0xFFFFFFFF
+        gen = np.random.default_rng(np.random.SeedSequence(
+            [seed, task_id] + list(f"failures:{stream}".encode())))
+        u = float(gen.random())
+        fails = 0
+        threshold = rate
+        while u < threshold and fails < 8:  # cap guards against u == 0.0
+            fails += 1
+            threshold *= rate
+        if fails == 0:
+            return body_factory
+        state = {"done": 0}
 
         def factory(node: int):
-            if gen.random() < rate:
+            if state["done"] < fails:
+                state["done"] += 1
+
                 def failing():
                     # The attempt dies early (executor lost at launch).
                     yield self.sim.timeout(0.05)

@@ -45,6 +45,18 @@ class LocalBackend:
             self.partitions_computed += 1
         return hit
 
+    # -- fault injection (lineage recovery demonstrations) -----------------------
+    def drop_cached_partition(self, rdd: RDD, split: int) -> bool:
+        """Simulate losing one cached partition (node failure); the next
+        access recomputes it through lineage.  Returns whether anything
+        was actually dropped."""
+        return self._rdd_cache.pop((rdd.rdd_id, split), None) is not None
+
+    def drop_shuffle(self, rdd: ShuffledRDD) -> bool:
+        """Simulate losing a materialised shuffle output; the next access
+        re-runs the shuffle from the parent lineage."""
+        return self._shuffle_cache.pop(rdd.rdd_id, None) is not None
+
     # -- shuffle ------------------------------------------------------------------
     def get_or_run_shuffle(self, rdd: ShuffledRDD) -> List[List]:
         buckets = self._shuffle_cache.get(rdd.rdd_id)

@@ -66,6 +66,48 @@ class RDD:
             return iter(backend.get_or_compute_cached(self, split))
         return self.compute(split, backend)
 
+    # -- lineage -----------------------------------------------------------------
+    def lineage(self) -> List["RDD"]:
+        """The full ancestry of this RDD, parents before children (this
+        RDD last), each ancestor once — the graph Spark's DAGScheduler
+        walks when an output is lost."""
+        seen = set()
+        order: List["RDD"] = []
+
+        def visit(rdd: "RDD") -> None:
+            if rdd.rdd_id in seen:
+                return
+            seen.add(rdd.rdd_id)
+            for parent in rdd.parents:
+                visit(parent)
+            order.append(rdd)
+
+        visit(self)
+        return order
+
+    def recompute_scope(self) -> List["RDD"]:
+        """The subgraph that must actually re-execute to rebuild this
+        RDD's partitions: the lineage walk cut at *materialised*
+        boundaries — cached ancestors and shuffle outputs are read back,
+        not recomputed (this is the partial re-execution rule the
+        simulation engine applies when a crash loses map outputs)."""
+        seen = set()
+        order: List["RDD"] = []
+
+        def visit(rdd: "RDD", root: bool) -> None:
+            if rdd.rdd_id in seen:
+                return
+            seen.add(rdd.rdd_id)
+            if not root and (rdd.is_cached
+                             or rdd.shuffle_dependency is not None):
+                return  # materialised boundary: read back, don't rerun
+            for parent in rdd.parents:
+                visit(parent, False)
+            order.append(rdd)
+
+        visit(self, True)
+        return order
+
     # -- persistence ---------------------------------------------------------------
     def cache(self) -> "RDD":
         """Keep computed partitions in memory (the memory-resident

@@ -12,6 +12,14 @@ Fault tolerance follows Spark semantics: a failed task attempt is
 re-queued (up to ``max_attempt_failures`` times); with speculation
 enabled, straggling attempts get one backup copy and the first finisher
 wins while the loser is interrupted.
+
+With a :class:`~repro.core.faults.NodeLiveness` attached, the runner
+also survives whole-node faults (DESIGN.md §9): dead nodes are never
+offered, a crash abandons the node's in-flight attempts (through the
+same CAD ``on_abandon`` path as speculation losers) and purges queued
+tasks pinned to it (their input died with the node — the engine recovers
+them through lineage), and a restart re-offers, closing the lost-wakeup
+class PR 1 fixed for timers.
 """
 
 from __future__ import annotations
@@ -22,12 +30,13 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, \
 from repro.sim import simtime
 from repro.sim.events import Event, Interrupt
 from repro.core.cad import CongestionAwareDispatcher
-from repro.core.metrics import TaskRecord
+from repro.core.metrics import FailureRecord, TaskRecord
 from repro.core.policies import SchedulingPolicy
 from repro.core.speculation import SpeculativeExecution, TaskAttemptFailure
 from repro.core.task import SimTask, TaskQueue
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.faults import NodeLiveness
     from repro.sim.core import Simulator
 
 __all__ = ["StageRunner", "StageFailed"]
@@ -47,11 +56,19 @@ class StageRunner:
                  task_overhead: float = 0.0,
                  max_attempt_failures: int = 3,
                  on_complete: Optional[Callable[[SimTask, int, TaskRecord],
-                                                None]] = None) -> None:
+                                                None]] = None,
+                 liveness: Optional["NodeLiveness"] = None,
+                 failure_log: Optional[List[FailureRecord]] = None) -> None:
         self.sim = sim
         self.n_nodes = n_nodes
         self.policy = policy
         self.throttler = throttler
+        self.liveness = liveness
+        self.failure_log = failure_log
+        #: Pinned tasks abandoned because their node died with their data.
+        self.tasks_lost: List[SimTask] = []
+        #: Fault-killed attempts re-queued without burning a failure.
+        self.crash_requeues = 0
         self.speculation = speculation
         if speculation is not None:
             speculation.total_tasks = len(tasks)
@@ -82,6 +99,70 @@ class StageRunner:
             self._offer()
         return self.done
 
+    # -- liveness ---------------------------------------------------------------
+    def _alive(self, node: int) -> bool:
+        return self.liveness is None or self.liveness.alive(node)
+
+    def _free_nodes(self) -> List[int]:
+        """Nodes with a free slot, excluding dead ones."""
+        return [n for n in range(self.n_nodes)
+                if self.free_slots[n] > 0 and self._alive(n)]
+
+    def on_node_crash(self, node: int) -> None:
+        """The node died: abandon its in-flight attempts and purge queued
+        tasks pinned to it — their input data no longer exists, so
+        re-queueing would deadlock; the engine recovers them via lineage."""
+        if self.done.triggered:
+            return
+        for attempts in list(self._attempts.values()):
+            for n, _started, proc, _task in list(attempts):
+                if n == node and proc.is_alive:
+                    proc.interrupt("node-crash")
+        while True:
+            task = self.queue.pop_pinned(node)
+            if task is None:
+                break
+            self._lose_task(task)
+        self._offer()
+
+    def on_executor_loss(self, node: int) -> None:
+        """The executor died but the node (and its data) survives: every
+        in-flight attempt there is abandoned and re-queued."""
+        if self.done.triggered:
+            return
+        for attempts in list(self._attempts.values()):
+            for n, _started, proc, _task in list(attempts):
+                if n == node and proc.is_alive:
+                    proc.interrupt("executor-loss")
+        self._offer()
+
+    def on_node_restart(self, node: int) -> None:
+        """A restarted node is fresh capacity: re-offer, or its slots
+        would sit idle until some unrelated event happened to sweep."""
+        if not self.done.triggered:
+            self._offer()
+
+    def _lose_task(self, task: SimTask) -> None:
+        self.tasks_lost.append(task)
+        if self.sim._tracing:
+            self.sim.trace("task-lost", task=task.task_id, node=task.pinned)
+        self._remaining -= 1
+        if self._remaining == 0 and not self.done.triggered:
+            self.done.succeed(self.records)
+
+    def _recover_attempt(self, task: SimTask, cause: str) -> None:
+        """Re-queue an attempt killed by a fault — or declare the task
+        lost when it is pinned to a node that died with its input."""
+        if task.task_id in self._finished or self._attempts.get(task.task_id):
+            return  # a twin attempt survives elsewhere
+        if task.pinned is not None and not self._alive(task.pinned):
+            self._lose_task(task)
+            return
+        self.crash_requeues += 1
+        task.taken = False
+        task.queued_at = self.sim.now
+        self.queue.push(task)
+
     # -- offer loop -------------------------------------------------------------
     def _offer(self) -> None:
         """Sweep free nodes, one launch per node per pass, until no
@@ -93,7 +174,7 @@ class StageRunner:
             self.sim.trace("offer", free_slots=list(self.free_slots),
                            pending=len(self.queue))
         while len(self.queue) > 0:
-            free = [n for n in range(self.n_nodes) if self.free_slots[n] > 0]
+            free = self._free_nodes()
             if not free:
                 return
             order = self.policy.node_order(free)
@@ -162,7 +243,7 @@ class StageRunner:
             return
         now = self.sim.now
         while True:
-            free = [n for n in range(self.n_nodes) if self.free_slots[n] > 0]
+            free = self._free_nodes()
             if not free:
                 break
             straggler = self._pick_straggler(now)
@@ -185,7 +266,7 @@ class StageRunner:
         threshold = spec.threshold() if spec is not None else None
         if threshold is None:
             return
-        if not any(self.free_slots[n] > 0 for n in range(self.n_nodes)):
+        if not self._free_nodes():
             return
         now = self.sim.now
         horizon = None
@@ -245,6 +326,7 @@ class StageRunner:
     def _run_task(self, task: SimTask, node: int, speculative: bool = False):
         started = self.sim.now
         interrupted = False
+        interrupt_cause = None
         failed = False
         try:
             if self.task_overhead > 0:
@@ -255,8 +337,9 @@ class StageRunner:
             # crash the simulation.
             inner.defuse()
             yield inner
-        except Interrupt:
+        except Interrupt as exc:
             interrupted = True
+            interrupt_cause = exc.cause
         except TaskAttemptFailure:
             failed = True
         finally:
@@ -270,7 +353,10 @@ class StageRunner:
             if self.throttler is not None:
                 self.throttler.on_abandon(node)
             if self.sim._tracing:
-                self.sim.trace("interrupt", task=task.task_id, node=node)
+                self.sim.trace("interrupt", task=task.task_id, node=node,
+                               cause=interrupt_cause)
+            if interrupt_cause in ("node-crash", "executor-loss"):
+                self._recover_attempt(task, interrupt_cause)
             self._offer()
             return
         if failed:
@@ -336,6 +422,10 @@ class StageRunner:
         if self.sim._tracing:
             self.sim.trace("failure", task=task.task_id, node=node,
                            count=count)
+        if self.failure_log is not None:
+            self.failure_log.append(FailureRecord(
+                phase=task.phase, task_id=task.task_id, attempt=count,
+                node=node, at=self.sim.now))
         if count > self.max_attempt_failures:
             if not self.done.triggered:
                 self.done.fail(StageFailed(
@@ -365,6 +455,9 @@ class StageRunner:
             "armed_retry_deadline": self._retry_deadline,
             "armed_retry_token": self._retry_token,
         }
+        if self.liveness is not None:
+            snap["dead_nodes"] = self.liveness.dead_nodes()
+            snap["tasks_lost"] = [t.task_id for t in self.tasks_lost]
         violation = self.wakeup_invariant_violation()
         if violation is not None:
             snap["invariant_violation"] = violation
@@ -382,8 +475,12 @@ class StageRunner:
         """
         if self.done.triggered or len(self.queue) == 0:
             return None
-        free = [n for n in range(self.n_nodes) if self.free_slots[n] > 0]
+        free = self._free_nodes()
         if not free:
+            if self.liveness is not None and not self.liveness.any_alive() \
+                    and not self._attempts:
+                return ("pending tasks with every node dead and no restart "
+                        "scheduled — the cluster cannot finish the stage")
             return None
         if self._attempts:
             return None  # a running attempt's exit always re-offers

@@ -23,7 +23,7 @@ reproduces the paper's network-bottleneck scenario (Fig 13(b)).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -34,6 +34,7 @@ from repro.sim.resources import Resource
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.cluster import Cluster
     from repro.config import SparkConf
+    from repro.core.faults import ShuffleAvailability
     from repro.core.jobspec import JobSpec
 
 __all__ = ["FetchPlan", "fetch_body"]
@@ -41,18 +42,29 @@ __all__ = ["FetchPlan", "fetch_body"]
 
 @dataclass
 class FetchPlan:
-    """Everything a fetch task needs to locate its partition slices."""
+    """Everything a fetch task needs to locate its partition slices.
+
+    With fault injection active, ``src`` in the fetch path is a *logical*
+    source id: ``availability`` gates reads of sources whose output is
+    being re-materialised and maps them to the physical node that hosts
+    the recovered bytes, while ``source_bytes`` sizes slices by logical
+    source (the physical ``node_store_bytes`` is zeroed by a crash, which
+    must not silently shrink a late reducer's fetch)."""
 
     cluster: "Cluster"
     spec: "JobSpec"
     conf: "SparkConf"
     node_store_bytes: np.ndarray
     n_reducers: int
+    availability: Optional["ShuffleAvailability"] = None
+    source_bytes: Optional[np.ndarray] = None
 
     def slice_bytes(self, src: int) -> float:
         """Bytes of one reducer's partition on ``src`` (hash partitioning
         spreads each node's output uniformly over reducers)."""
-        return float(self.node_store_bytes[src]) / self.n_reducers
+        data = self.source_bytes if self.source_bytes is not None \
+            else self.node_store_bytes
+        return float(data[src]) / self.n_reducers
 
     def flow_cap(self) -> float:
         return request_rate_cap(self.conf.fetch_request_bytes,
@@ -106,32 +118,40 @@ def _fetch_one(plan: FetchPlan, src: int, dst: int, reducer: int,
     spec = plan.spec
     with sem.request() as req:
         yield req
+        phys = src
+        if plan.availability is not None:
+            # Gate on the logical source: if its output is mid-recovery,
+            # park until the redirect to the recovered copy is published.
+            gate = plan.availability.available(src)
+            if gate is not None:
+                yield gate
+            phys = plan.availability.physical(src)
         mode = spec.fetch_mode
-        bundle = ("shuffle", src)
-        bundle_total = float(plan.node_store_bytes[src])
+        bundle = ("shuffle", phys)
+        bundle_total = float(plan.node_store_bytes[phys])
         if mode == "network":
-            read_ev = cluster.nodes[src].volume(spec.shuffle_store).read(
+            read_ev = cluster.nodes[phys].volume(spec.shuffle_store).read(
                 nbytes, bundle, of_total=bundle_total)
-            if src == dst:
+            if phys == dst:
                 yield read_ev
             else:
                 net_ev = cluster.fabric.transfer(
-                    src, dst, nbytes * plan.wire_inflation(),
+                    phys, dst, nbytes * plan.wire_inflation(),
                     cap=plan.flow_cap(), tag=("fetch", reducer, src))
                 yield AllOf(cluster.sim, [read_ev, net_ev])
         elif mode == "lustre-local":
-            read_ev = cluster.lustre.read_local(src, nbytes, bundle,
+            read_ev = cluster.lustre.read_local(phys, nbytes, bundle,
                                                 of_total=bundle_total)
-            if src == dst:
+            if phys == dst:
                 yield read_ev
             else:
                 net_ev = cluster.fabric.transfer(
-                    src, dst, nbytes * plan.wire_inflation(),
+                    phys, dst, nbytes * plan.wire_inflation(),
                     cap=plan.flow_cap(), tag=("fetch", reducer, src))
                 yield AllOf(cluster.sim, [read_ev, net_ev])
         elif mode == "lustre-shared":
             # Direct Lustre read: MDS op + lock revocation + OSS traffic.
             yield cluster.lustre.read(dst, nbytes,
-                                      ("shuffle", src, reducer))
+                                      ("shuffle", phys, reducer))
         else:  # pragma: no cover - JobSpec validates
             raise ValueError(f"unknown fetch mode {mode!r}")

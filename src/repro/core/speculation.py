@@ -60,7 +60,13 @@ class SpeculativeExecution:
         if not self.active() or not self._durations:
             return None
         ordered = sorted(self._durations)
-        median = ordered[len(ordered) // 2]
+        n = len(ordered)
+        if n % 2:
+            median = ordered[n // 2]
+        else:
+            # True median: interpolate for even-length samples (the upper
+            # median overestimates the threshold and mutes speculation).
+            median = 0.5 * (ordered[n // 2 - 1] + ordered[n // 2])
         return self.multiplier * median
 
     def is_straggler(self, elapsed: float) -> bool:

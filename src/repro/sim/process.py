@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from inspect import getgeneratorstate
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.sim.events import NORMAL, URGENT, Event, Interrupt
@@ -52,7 +53,14 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at the current time."""
         if self.triggered:
             raise RuntimeError(f"{self!r} has already terminated")
-        if self._target is not None:
+        # Throwing into a generator that has not reached its first yield
+        # would raise *outside* the body's try/except (the frame has not
+        # been entered), crashing the simulation instead of delivering
+        # the interrupt.  Leave the <init> event in place so the body
+        # runs to its first yield first; the interrupt event, enqueued
+        # behind it at the same timestamp, then lands inside the body.
+        started = getgeneratorstate(self._generator) != "GEN_CREATED"
+        if started and self._target is not None:
             self._target.remove_callback(self._resume)
         fail = Event(self.sim, name="<interrupt>")
         fail._ok = False
@@ -60,10 +68,21 @@ class Process(Event):
         fail._defused = True
         fail.add_callback(self._resume)
         self.sim._enqueue(fail, URGENT)
-        self._target = fail
+        if started:
+            self._target = fail
 
     # -- stepping ----------------------------------------------------------
     def _resume(self, event: Event) -> None:
+        if self.triggered:
+            # A deferred interrupt raced with normal completion (the body
+            # finished on its very first advance); nothing to deliver.
+            event.defuse()
+            return
+        if self._target is not None and self._target is not event:
+            # Resumed by a deferred interrupt while parked on a real
+            # event: deregister from it, or its later processing would
+            # resume a finished generator.
+            self._target.remove_callback(self._resume)
         self._target = None
         while True:
             try:

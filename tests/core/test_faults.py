@@ -1,0 +1,273 @@
+"""Unit tests for the fault-injection subsystem (DESIGN.md §9)."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.spec import hyperion
+from repro.core.faults import (ExecutorLoss, FaultInjector, FaultPlan,
+                               NodeCrash, NodeLiveness, ShuffleAvailability,
+                               ShuffleOutputLoss, StorageDegradation)
+from repro.core.policies import LocalityFirstPolicy
+from repro.core.scheduler import StageRunner
+from repro.core.task import SimTask
+from repro.sim import Simulator
+
+
+class TestFaultPlan:
+    def test_events_sorted_by_time(self):
+        plan = FaultPlan((NodeCrash(at=5.0, node=1),
+                          ExecutorLoss(at=2.0, node=0),
+                          NodeCrash(at=2.0, node=3)))
+        assert [e.at for e in plan.events] == [2.0, 2.0, 5.0]
+        # Same-time events order by kind, crashes first.
+        assert isinstance(plan.events[0], NodeCrash)
+
+    def test_plan_is_hashable_and_falsy_when_empty(self):
+        assert not FaultPlan.empty()
+        assert FaultPlan.single_crash(node=0, at=1.0)
+        hash(FaultPlan.single_crash(node=0, at=1.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeCrash(at=-1.0, node=0)
+        with pytest.raises(ValueError):
+            NodeCrash(at=5.0, node=0, restart_at=5.0)
+        with pytest.raises(ValueError):
+            StorageDegradation(at=1.0, node=0, factor=0.0)
+        with pytest.raises(ValueError):
+            StorageDegradation(at=1.0, node=0, until=0.5)
+
+    def test_random_plan_is_deterministic(self):
+        a = FaultPlan.random(seed=7, n_nodes=8, horizon=100.0,
+                             crash_rate=0.002, restart_delay=30.0,
+                             executor_loss_rate=0.001)
+        b = FaultPlan.random(seed=7, n_nodes=8, horizon=100.0,
+                             crash_rate=0.002, restart_delay=30.0,
+                             executor_loss_rate=0.001)
+        assert a == b
+        c = FaultPlan.random(seed=8, n_nodes=8, horizon=100.0,
+                             crash_rate=0.002, restart_delay=30.0,
+                             executor_loss_rate=0.001)
+        assert a != c
+
+    def test_injector_rejects_out_of_range_nodes(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            FaultInjector(sim, FaultPlan.single_crash(node=9, at=1.0),
+                          n_nodes=4)
+
+
+class TestNodeLiveness:
+    def test_mark_dead_and_alive(self):
+        lv = NodeLiveness(4)
+        assert lv.alive(2) and lv.any_alive()
+        lv.mark_dead(2)
+        assert not lv.alive(2)
+        assert lv.dead_nodes() == [2]
+        assert lv.live_nodes() == [0, 1, 3]
+        lv.mark_alive(2)
+        assert lv.alive(2)
+
+
+class TestShuffleAvailability:
+    def test_gate_blocks_until_open_and_redirects(self):
+        sim = Simulator()
+        avail = ShuffleAvailability(sim)
+        assert avail.available(1) is None
+        assert avail.physical(1) == 1
+        avail.close(1)
+        assert avail.is_closed(1)
+        gate = avail.available(1)
+        assert gate is not None and not gate.triggered
+        avail.open(1, physical=3)
+        assert avail.available(1) is None
+        assert avail.physical(1) == 3
+        # Re-opening on the original node clears the redirect.
+        avail.close(1)
+        avail.open(1, physical=1)
+        assert avail.physical(1) == 1
+
+
+class TestInjectorDispatch:
+    class Recorder:
+        def __init__(self):
+            self.calls = []
+
+        def on_node_crash(self, node):
+            self.calls.append(("crash", node))
+
+        def on_node_restart(self, node):
+            self.calls.append(("restart", node))
+
+        def on_executor_loss(self, node):
+            self.calls.append(("exec", node))
+
+        def on_shuffle_output_loss(self, node):
+            self.calls.append(("shuffle", node))
+
+    def test_crash_restart_sequence(self):
+        sim = Simulator()
+        inj = FaultInjector(sim, FaultPlan.single_crash(node=1, at=2.0,
+                                                        restart_at=5.0),
+                            n_nodes=4)
+        rec = self.Recorder()
+        inj.add_listener(rec)
+        sim.run(until=10.0)
+        assert rec.calls == [("crash", 1), ("restart", 1)]
+        assert inj.liveness.alive(1)
+
+    def test_liveness_updated_before_listeners(self):
+        sim = Simulator()
+        inj = FaultInjector(sim, FaultPlan.single_crash(node=0, at=1.0),
+                            n_nodes=2)
+        seen = []
+
+        class Probe:
+            def on_node_crash(self, node):
+                seen.append(inj.liveness.alive(node))
+
+        inj.add_listener(Probe())
+        sim.run(until=2.0)
+        assert seen == [False]
+
+    def test_events_on_dead_node_are_dropped(self):
+        sim = Simulator()
+        plan = FaultPlan((NodeCrash(at=1.0, node=0),
+                          NodeCrash(at=2.0, node=0),
+                          ExecutorLoss(at=2.5, node=0),
+                          ShuffleOutputLoss(at=3.0, node=0)))
+        inj = FaultInjector(sim, plan, n_nodes=2)
+        rec = self.Recorder()
+        inj.add_listener(rec)
+        sim.run(until=5.0)
+        assert rec.calls == [("crash", 0)]
+
+    def test_storage_degradation_scales_and_reverts(self):
+        cluster = Cluster(hyperion(2), seed=0)
+        sim = cluster.sim
+        dev = cluster.nodes[1].volume("ssd").device
+        before = dev.read_pipe.capacity_fn, dev.read_pipe._capacity
+        plan = FaultPlan((StorageDegradation(at=1.0, node=1, volume="ssd",
+                                             factor=0.5, until=3.0),))
+        FaultInjector(sim, plan, cluster.n_nodes, nodes=cluster.nodes)
+
+        measured = {}
+
+        def probe_at(when, key):
+            def cb():
+                if dev.read_pipe.capacity_fn is not None:
+                    measured[key] = dev.read_pipe.capacity_fn(1)
+                else:
+                    measured[key] = dev.read_pipe._capacity
+            sim.schedule_callback(when - sim.now, cb)
+
+        probe_at(0.5, "before")
+        probe_at(2.0, "during")
+        probe_at(4.0, "after")
+        sim.run(until=5.0)
+        assert measured["during"] == pytest.approx(0.5 * measured["before"])
+        assert measured["after"] == pytest.approx(measured["before"])
+        # The pipe object ends up structurally restored.
+        assert (dev.read_pipe.capacity_fn, dev.read_pipe._capacity) == before
+
+
+def _task(sim, task_id, duration, pinned=None):
+    def factory(node):
+        def body():
+            yield sim.timeout(duration)
+        return body()
+
+    return SimTask(task_id=task_id, phase="t", body=factory, pinned=pinned)
+
+
+class TestStageRunnerFaults:
+    def _runner(self, sim, tasks, n_nodes=2, cores=1, liveness=None):
+        return StageRunner(sim, n_nodes, cores, tasks,
+                           policy=LocalityFirstPolicy(), liveness=liveness)
+
+    def test_dead_node_never_offered(self):
+        sim = Simulator()
+        lv = NodeLiveness(2)
+        lv.mark_dead(1)
+        tasks = [_task(sim, i, 1.0) for i in range(4)]
+        runner = self._runner(sim, tasks, liveness=lv)
+        done = runner.run()
+        sim.run(until=done)
+        assert all(r.node == 0 for r in runner.records)
+
+    def test_crash_requeues_unpinned_attempt_without_burning_budget(self):
+        sim = Simulator()
+        lv = NodeLiveness(2)
+        tasks = [_task(sim, i, 2.0) for i in range(2)]
+        runner = self._runner(sim, tasks, liveness=lv)
+        done = runner.run()
+
+        def crash():
+            lv.mark_dead(1)
+            runner.on_node_crash(1)
+
+        sim.schedule_callback(1.0, crash)
+        sim.run(until=done)
+        assert sorted(r.task_id for r in runner.records) == [0, 1]
+        assert all(r.node == 0 for r in runner.records)
+        assert runner.crash_requeues == 1
+        assert runner.attempt_failures == 0
+
+    def test_crash_loses_pinned_tasks(self):
+        sim = Simulator()
+        lv = NodeLiveness(2)
+        tasks = [_task(sim, 0, 1.0, pinned=0),
+                 _task(sim, 1, 1.0, pinned=1),
+                 _task(sim, 2, 1.0, pinned=1)]
+        runner = self._runner(sim, tasks, liveness=lv)
+        done = runner.run()
+
+        def crash():
+            lv.mark_dead(1)
+            runner.on_node_crash(1)
+
+        sim.schedule_callback(0.5, crash)
+        sim.run(until=done)
+        # The stage still completes: lost tasks are the engine's problem.
+        assert sorted(t.task_id for t in runner.tasks_lost) == [1, 2]
+        assert sorted(r.task_id for r in runner.records) == [0]
+
+    def test_restart_reoffers_idle_slots(self):
+        sim = Simulator()
+        lv = NodeLiveness(1)
+        lv.mark_dead(0)
+        tasks = [_task(sim, 0, 1.0)]
+        runner = self._runner(sim, tasks, n_nodes=1, liveness=lv)
+        done = runner.run()
+
+        def restart():
+            lv.mark_alive(0)
+            runner.on_node_restart(0)
+
+        sim.schedule_callback(3.0, restart)
+        sim.run(until=done)
+        assert len(runner.records) == 1
+        assert runner.records[0].started_at == pytest.approx(3.0)
+
+    def test_executor_loss_requeues_everything_in_flight(self):
+        sim = Simulator()
+        lv = NodeLiveness(2)
+        tasks = [_task(sim, i, 2.0) for i in range(4)]
+        runner = self._runner(sim, tasks, cores=2, liveness=lv)
+        done = runner.run()
+        sim.schedule_callback(1.0, runner.on_executor_loss, 1)
+        sim.run(until=done)
+        assert sorted(r.task_id for r in runner.records) == [0, 1, 2, 3]
+        assert runner.crash_requeues == 2
+        assert runner.attempt_failures == 0
+
+    def test_all_dead_diagnostic(self):
+        sim = Simulator()
+        lv = NodeLiveness(1)
+        lv.mark_dead(0)
+        tasks = [_task(sim, 0, 1.0)]
+        runner = self._runner(sim, tasks, n_nodes=1, liveness=lv)
+        runner.run()
+        violation = runner.wakeup_invariant_violation()
+        assert violation is not None and "every node dead" in violation
+        assert runner.diagnostic_snapshot()["dead_nodes"] == [0]

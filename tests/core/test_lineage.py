@@ -1,0 +1,100 @@
+"""Lineage walks and lineage-based recovery on the local backend.
+
+``RDD.lineage`` / ``RDD.recompute_scope`` are the RDD-level statement of
+the partial re-execution rule the simulation engine applies when a crash
+loses map outputs (DESIGN.md §9); ``LocalBackend.drop_cached_partition``
+and ``drop_shuffle`` let us actually lose data and watch recovery run.
+"""
+
+import pytest
+
+from repro.core.local import LocalContext
+
+
+@pytest.fixture
+def ctx():
+    return LocalContext(parallelism=2)
+
+
+class TestLineageWalk:
+    def test_parents_before_children_each_once(self, ctx):
+        base = ctx.parallelize(range(8))
+        mapped = base.map(lambda x: x + 1)
+        final = mapped.filter(lambda x: x % 2 == 0)
+        chain = final.lineage()
+        assert [r.rdd_id for r in chain] == \
+            [base.rdd_id, mapped.rdd_id, final.rdd_id]
+
+    def test_diamond_ancestor_visited_once(self, ctx):
+        base = ctx.parallelize(range(4))
+        left = base.map(lambda x: x)
+        right = base.filter(lambda x: True)
+        union = left.union(right)
+        ids = [r.rdd_id for r in union.lineage()]
+        assert len(ids) == len(set(ids)) == 4
+        assert ids.index(base.rdd_id) < ids.index(left.rdd_id)
+        assert ids.index(base.rdd_id) < ids.index(right.rdd_id)
+
+
+class TestRecomputeScope:
+    def test_cut_at_cached_ancestor(self, ctx):
+        base = ctx.parallelize(range(8))
+        cached = base.map(lambda x: x * 2).cache()
+        final = cached.map(lambda x: x + 1)
+        scope = [r.rdd_id for r in final.recompute_scope()]
+        # The cached ancestor is read back, everything above it skipped.
+        assert scope == [final.rdd_id]
+
+    def test_cut_at_shuffle_boundary(self, ctx):
+        pairs = ctx.parallelize([("a", 1), ("b", 2), ("a", 3)])
+        reduced = pairs.reduce_by_key(lambda a, b: a + b)
+        final = reduced.map(lambda kv: kv)
+        scope = [r.rdd_id for r in final.recompute_scope()]
+        # The shuffle output is read back (not in scope), so neither it
+        # nor its whole map side reruns — only the downstream map does.
+        assert scope == [final.rdd_id]
+        assert pairs.rdd_id not in scope
+
+    def test_losing_the_boundary_itself_widens_the_scope(self, ctx):
+        base = ctx.parallelize(range(8))
+        cached = base.map(lambda x: x * 2).cache()
+        # Asking the cached RDD itself (the lost output) reruns its own
+        # compute from its parents — root is never treated as a boundary.
+        scope = [r.rdd_id for r in cached.recompute_scope()]
+        assert scope == [base.rdd_id, cached.rdd_id]
+
+
+class TestLocalRecovery:
+    def test_dropped_cached_partition_recomputes_through_lineage(self, ctx):
+        rdd = ctx.parallelize(range(10), num_partitions=2) \
+                 .map(lambda x: x * x).cache()
+        first = rdd.collect()
+        computed = ctx.backend.partitions_computed
+        assert rdd.collect() == first                   # warm: pure hits
+        assert ctx.backend.partitions_computed == computed
+
+        assert ctx.backend.drop_cached_partition(rdd, 0)
+        assert not ctx.backend.drop_cached_partition(rdd, 0)  # already gone
+        assert rdd.collect() == first                   # recovered
+        assert ctx.backend.partitions_computed == computed + 1
+
+    def test_dropped_shuffle_reruns_from_parent(self, ctx):
+        reduced = (ctx.parallelize([("a", 1), ("b", 2), ("a", 3)] * 4)
+                   .reduce_by_key(lambda a, b: a + b))
+        first = sorted(reduced.collect())
+        assert ctx.backend.shuffles_run == 1
+        assert sorted(reduced.collect()) == first
+        assert ctx.backend.shuffles_run == 1            # materialised
+
+        assert ctx.backend.drop_shuffle(reduced)
+        assert not ctx.backend.drop_shuffle(reduced)
+        assert sorted(reduced.collect()) == first       # recovered
+        assert ctx.backend.shuffles_run == 2
+
+    def test_recovery_preserves_results_after_partial_loss(self, ctx):
+        rdd = ctx.parallelize(range(100), num_partitions=4) \
+                 .map(lambda x: x + 7).cache()
+        expected = rdd.collect()
+        for split in (1, 3):
+            ctx.backend.drop_cached_partition(rdd, split)
+        assert rdd.collect() == expected

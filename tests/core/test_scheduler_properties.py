@@ -1,8 +1,11 @@
 """Property-based tests on scheduler invariants (hypothesis)."""
 
+import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.elb import EnhancedLoadBalancer
+from repro.core.faults import NodeLiveness
 from repro.core.policies import DelayScheduling, LocalityFirstPolicy
 from repro.core.scheduler import StageRunner
 from repro.core.speculation import SpeculativeExecution
@@ -92,6 +95,57 @@ def test_delay_scheduling_never_beats_immediate(task_set, n_nodes):
     immediate = run(LocalityFirstPolicy)
     delayed = run(lambda: DelayScheduling(wait=3.0))
     assert delayed >= immediate - 1e-9
+
+
+@given(task_sets,
+       st.integers(2, 5),
+       st.lists(st.tuples(st.floats(min_value=0.05, max_value=3.0),
+                          st.integers(0, 7)),
+                max_size=3),
+       st.lists(st.floats(min_value=0.0, max_value=100.0),
+                min_size=5, max_size=5))
+@settings(max_examples=40, deadline=None)
+def test_elb_stall_freedom_under_node_death(task_set, n_nodes, crashes,
+                                            skew):
+    """ELB veto + dead nodes never deadlock the stage.
+
+    Regression (mirrors PR 1's lost-wakeup class): ELB's cluster average
+    used to include dead nodes, whose intermediate volumes are zeroed on
+    crash.  The deflated average could mark every free *live* node as
+    saturated while no attempts were running — and ``next_retry``
+    delegates blindly to the inner policy, which arms nothing for
+    unpinned work.  Nonempty queue, free slots, no wakeup: deadlock.
+    The live-node-only mean makes a veto imply that some live node sits
+    at or below the mean, so the least-loaded live node is always
+    offerable and the stage must finish.
+    """
+    sim = Simulator()
+    durations = [d for d, _ in task_set]
+    prefs = [p for _, p in task_set]
+    tasks = build_tasks(sim, durations, prefs, n_nodes)
+    intermediate = np.array([skew[n % len(skew)] for n in range(n_nodes)],
+                            dtype=float)
+    liveness = NodeLiveness(n_nodes)
+    policy = EnhancedLoadBalancer(LocalityFirstPolicy(), intermediate,
+                                  threshold=0.25, liveness=liveness)
+    runner = StageRunner(sim, n_nodes, 2, tasks, policy=policy,
+                         liveness=liveness)
+    done = runner.run()
+
+    def crash(node):
+        # Keep at least one node alive; re-crashing a corpse is a no-op.
+        if not liveness.alive(node) or len(liveness.live_nodes()) <= 1:
+            return
+        liveness.mark_dead(node)
+        intermediate[node] = 0.0    # the engine zeroes crashed hosts
+        runner.on_node_crash(node)
+
+    for at, node in crashes:
+        sim.schedule_callback(at, crash, node % n_nodes)
+    sim.run(until=done)   # a lost wakeup would raise SimulationDeadlock
+    assert runner.wakeup_invariant_violation() is None
+    assert sorted(r.task_id for r in runner.records) == \
+        list(range(len(tasks)))
 
 
 @given(task_sets, st.integers(2, 4))
