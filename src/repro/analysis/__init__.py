@@ -1,7 +1,13 @@
 """Measurement post-processing: CDFs, medians, tables, ASCII plots."""
 
 from repro.analysis.cdf import cdf, percentile_spread
-from repro.analysis.stats import improvement, median_of, ratio, speedup
+from repro.analysis.stats import (
+    improvement,
+    median,
+    median_of,
+    ratio,
+    speedup,
+)
 from repro.analysis.tables import ascii_bar_chart, format_table
 from repro.analysis.timeline import (
     gantt,
@@ -17,6 +23,7 @@ __all__ = [
     "format_table",
     "gantt",
     "improvement",
+    "median",
     "median_of",
     "percentile_spread",
     "phase_boundaries",

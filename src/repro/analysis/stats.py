@@ -2,24 +2,40 @@
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence
+import math
+from typing import Callable, Sequence
 
 import numpy as np
 
-__all__ = ["median_of", "ratio", "speedup", "improvement"]
+__all__ = ["median", "median_of", "ratio", "speedup", "improvement"]
+
+
+def median(values: Sequence[float]) -> float:
+    """Median of already-measured values (the sweep runner's aggregator)."""
+    values = list(values)
+    if not values:
+        raise ValueError("need at least one value")
+    return float(np.median(values))
 
 
 def median_of(run: Callable[[int], float], seeds: Sequence[int]) -> float:
     """Run ``run(seed)`` for every seed and return the median result."""
     if not seeds:
         raise ValueError("need at least one seed")
-    return float(np.median([run(s) for s in seeds]))
+    return median([run(s) for s in seeds])
 
 
 def ratio(a: float, b: float) -> float:
-    """a/b with a guard for degenerate divisors."""
+    """a/b with a guard for degenerate divisors.
+
+    ``0/0`` is *indeterminate*, not an infinite slowdown: a degenerate
+    measurement (both sides zero) reports ``nan`` so it can never
+    masquerade as a real ratio downstream.
+    """
     if b <= 0:
-        return float("inf")
+        if a == 0 and b == 0:
+            return math.nan
+        return math.inf
     return a / b
 
 

@@ -30,6 +30,7 @@ behavior-preserving rather than merely plausible.
 
 from __future__ import annotations
 
+import functools
 import gc
 import hashlib
 import json
@@ -39,6 +40,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from repro.bench.scenarios import SCENARIOS, ScenarioResult, run_scenario
+from repro.experiments.runner import map_parallel
 from repro.sim import perfmode
 
 __all__ = ["BenchReport", "bench_scenario", "run_bench", "main"]
@@ -149,13 +151,21 @@ def write_report(report: BenchReport, out_dir: str) -> str:
 
 def run_bench(scenarios: Optional[List[str]] = None, quick: bool = False,
               baseline: bool = False, check: bool = False,
-              out_dir: str = ".") -> List[BenchReport]:
-    """Run the selected scenarios and write one ``BENCH_*.json`` each."""
+              out_dir: str = ".", jobs: int = 1) -> List[BenchReport]:
+    """Run the selected scenarios and write one ``BENCH_*.json`` each.
+
+    ``jobs > 1`` fans scenarios out across a process pool (the same
+    fan-out the experiment sweep runner uses).  Simulation results —
+    and hence the ``--check`` identity verdicts — are unaffected, but
+    the scenarios share the machine, so treat parallel wall-clock
+    timings as smoke numbers, not the tracked perf trajectory.
+    """
     names = scenarios if scenarios else list(SCENARIOS)
+    worker = functools.partial(bench_scenario, quick=quick,
+                               baseline=baseline, check=check)
+    reports_out = map_parallel(worker, names, jobs=jobs)
     reports = []
-    for name in names:
-        report = bench_scenario(name, quick=quick, baseline=baseline,
-                                check=check)
+    for name, report in zip(names, reports_out):
         path = write_report(report, out_dir)
         line = (f"{name:14s} optimized {report.optimized.events_per_s:12,.0f}"
                 f" events/s ({report.optimized.wall_s:.3f}s wall)")
@@ -173,9 +183,13 @@ def run_bench(scenarios: Optional[List[str]] = None, quick: bool = False,
 
 def main(args) -> int:
     """Entry point for ``repro bench`` (argparse namespace from the CLI)."""
+    jobs = getattr(args, "jobs", 1)
+    if jobs < 1:
+        print(f"--jobs must be >= 1, got {jobs}")
+        return 2
     reports = run_bench(scenarios=args.scenario or None, quick=args.quick,
                         baseline=args.baseline, check=args.check,
-                        out_dir=args.out_dir)
+                        out_dir=args.out_dir, jobs=jobs)
     if args.check and not all(r.check_passed for r in reports):
         failed = [r.name for r in reports if not r.check_passed]
         print(f"CHECK FAILED: optimized and reference engines diverged "

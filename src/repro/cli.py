@@ -33,13 +33,24 @@ from repro.workloads import (
 
 __all__ = ["main"]
 
+# Every factory takes (data_bytes, store) with store=None meaning "the
+# workload's default"; a workload that shuffles threads the store into
+# its spec, one that does not appears in NO_SHUFFLE_WORKLOADS and the
+# CLI rejects an explicit --store for it instead of silently ignoring it.
 WORKLOADS = {
-    "groupby": lambda data, store: groupby_spec(data, shuffle_store=store),
-    "grep": lambda data, store: grep_spec(data),
+    "groupby": lambda data, store: groupby_spec(
+        data, shuffle_store=store if store is not None else "ramdisk",
+        fetch_mode="network" if store != "lustre" else "lustre-local"),
+    "grep": lambda data, store: grep_spec(data, shuffle_store=store),
     "lr": lambda data, store: logistic_regression_spec(data),
-    "wordcount": lambda data, store: wordcount_spec(data),
+    "wordcount": lambda data, store: wordcount_spec(data,
+                                                    shuffle_store=store),
     "kmeans": lambda data, store: kmeans_spec(data),
 }
+
+#: Workloads whose per-iteration aggregates stay in memory: there is no
+#: materialised shuffle, so no storage device choice to make.
+NO_SHUFFLE_WORKLOADS = frozenset({"lr", "kmeans"})
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -59,7 +70,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     run.add_argument("--data-gb", type=float, default=40.0)
     run.add_argument("--nodes", type=int, default=8)
     run.add_argument("--store", choices=["ramdisk", "ssd", "lustre"],
-                     default="ramdisk")
+                     default=None,
+                     help="shuffle storage device (default: the "
+                          "workload's own; rejected for workloads "
+                          "without a shuffle)")
     run.add_argument("--elb", action="store_true")
     run.add_argument("--cad", action="store_true")
     run.add_argument("--delay-scheduling", action="store_true")
@@ -94,6 +108,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                             "default: all")
     bench.add_argument("--out-dir", default=".",
                        help="directory for BENCH_<name>.json (default: .)")
+    bench.add_argument("--jobs", "-j", type=int, default=1,
+                       help="run scenarios in parallel worker processes; "
+                            "results stay identical but wall-clock "
+                            "timings share the machine (default: 1)")
+
+    sub.add_parser("experiments",
+                   help="regenerate paper tables/figures "
+                        "(alias of python -m repro.experiments)",
+                   add_help=False)
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if argv[:1] == ["experiments"]:
+        from repro.experiments.__main__ import main as experiments_main
+        return experiments_main(argv[1:])
 
     args = parser.parse_args(argv)
     if args.command == "describe-cluster":
@@ -128,7 +157,13 @@ def _describe(args) -> int:
 
 
 def _parse_crashes(specs: Sequence[str]) -> Optional[FaultPlan]:
-    """``NODE@T`` or ``NODE@T:RESTART_T`` → a :class:`FaultPlan`."""
+    """``NODE@T`` or ``NODE@T:RESTART_T`` → a :class:`FaultPlan`.
+
+    ``NODE@T:`` (empty restart) means the node never rejoins.  A plan
+    that restarts a node before (or at) its own crash, or crashes it at
+    a negative time, is contradictory and rejected here with a pointed
+    message rather than left to surface as an engine error mid-run.
+    """
     if not specs:
         return None
     crashes = []
@@ -136,16 +171,36 @@ def _parse_crashes(specs: Sequence[str]) -> Optional[FaultPlan]:
         try:
             node_part, times = raw.split("@", 1)
             at_part, _, restart_part = times.partition(":")
-            crashes.append(NodeCrash(
-                at=float(at_part), node=int(node_part),
-                restart_at=float(restart_part) if restart_part else None))
+            node = int(node_part)
+            at = float(at_part)
+            restart_at = float(restart_part) if restart_part else None
         except ValueError as exc:
             raise SystemExit(
                 f"bad --crash {raw!r} (expected NODE@T[:RESTART_T]): {exc}")
+        if node < 0:
+            raise SystemExit(
+                f"bad --crash {raw!r}: node must be >= 0, got {node}")
+        if at < 0:
+            raise SystemExit(
+                f"bad --crash {raw!r}: crash time must be >= 0, got {at:g}")
+        if restart_at is not None and restart_at <= at:
+            raise SystemExit(
+                f"bad --crash {raw!r}: restart time {restart_at:g} must be "
+                f"strictly after the crash time {at:g}")
+        crashes.append(NodeCrash(at=at, node=node, restart_at=restart_at))
     return FaultPlan(tuple(crashes))
 
 
 def _run(args) -> int:
+    if args.store is not None and args.workload in NO_SHUFFLE_WORKLOADS:
+        raise SystemExit(
+            f"--store {args.store} has no effect on --workload "
+            f"{args.workload}: it keeps its per-iteration aggregates in "
+            f"memory and never materialises shuffle data; drop --store or "
+            f"pick a shuffling workload (groupby, grep, wordcount)")
+    if not 0.0 <= args.failure_rate <= 1.0:
+        raise SystemExit(
+            f"--failure-rate must be within [0, 1], got {args.failure_rate}")
     spec = WORKLOADS[args.workload](args.data_gb * GB, args.store)
     options = EngineOptions(
         delay_scheduling=args.delay_scheduling, elb=args.elb, cad=args.cad,

@@ -5,8 +5,13 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments fig07
     python -m repro.experiments fig13 --scale medium --seeds 0 1 2
-    python -m repro.experiments all
+    python -m repro.experiments all --jobs 4
     python -m repro.experiments validate      # PASS/FAIL claims report
+    python -m repro.experiments validate --jobs 8 --seeds 0 1 2
+
+Sweeps fan out across ``--jobs`` worker processes and consult the
+on-disk result cache (``.repro-cache/`` by default) unless ``--no-cache``
+is given; results are byte-identical to a serial, uncached run.
 """
 
 from __future__ import annotations
@@ -14,8 +19,10 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.experiments.common import FULL, MEDIUM, SMALL, Scale
-from repro.experiments.registry import EXPERIMENTS, get
+from repro.experiments.common import FULL, MEDIUM, SMALL
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.runner import (DEFAULT_CACHE_DIR, SweepRunner,
+                                      run_experiment)
 
 SCALES = {"small": SMALL, "medium": MEDIUM, "full": FULL}
 
@@ -30,17 +37,34 @@ def main(argv=None) -> int:
                         help="cluster scale (default: small)")
     parser.add_argument("--seeds", type=int, nargs="+", default=[0],
                         help="seeds; the median is reported (paper: 5 runs)")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="worker processes for the sweep (default: 1; "
+                             "results are byte-identical at any job count)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="neither read nor write the result cache")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help=f"result cache location (default: "
+                             f"$REPRO_CACHE_DIR or {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--no-progress", action="store_true",
+                        help="suppress per-cell progress on stderr")
     args = parser.parse_args(argv)
+
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
 
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):
             print(name)
         return 0
 
+    runner = SweepRunner(jobs=args.jobs, cache=not args.no_cache,
+                         cache_dir=args.cache_dir,
+                         progress=not args.no_progress)
+
     if args.experiment == "validate":
         from repro.experiments.validate import render_report, validate
         report = validate(scale=SCALES[args.scale],
-                          seeds=tuple(args.seeds))
+                          seeds=tuple(args.seeds), runner=runner)
         print(render_report(report))
         return 0 if all(r["pass"] for r in report) else 1
 
@@ -48,15 +72,8 @@ def main(argv=None) -> int:
         else [args.experiment]
     scale = SCALES[args.scale]
     for exp_id in ids:
-        run = get(exp_id)
-        kwargs = {}
-        # table1 and the task trace take reduced parameter sets.
-        if exp_id == "table1":
-            result = run()
-        elif exp_id == "fig08d":
-            result = run(scale=scale, seed=args.seeds[0])
-        else:
-            result = run(scale=scale, seeds=tuple(args.seeds))
+        result = run_experiment(exp_id, scale=scale,
+                                seeds=tuple(args.seeds), runner=runner)
         print(result.render())
         print()
     return 0

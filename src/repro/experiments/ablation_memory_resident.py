@@ -12,16 +12,18 @@ every iteration.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
-from repro.analysis.stats import speedup
+from repro.analysis.stats import median, speedup
 from repro.cluster.variability import LognormalSpeed
 from repro.core.engine import EngineOptions, run_job
 from repro.experiments.common import (GB, MB, Scale, SMALL,
-                                      ExperimentResult, median_result)
+                                      ExperimentResult)
+from repro.experiments.runner import (Cell, SweepRunner, cell_scale,
+                                      make_cell)
 from repro.workloads import logistic_regression_spec
 
-__all__ = ["run"]
+__all__ = ["run", "cells", "run_cell", "assemble"]
 
 PAPER_INPUT_BYTES = 200 * GB
 
@@ -43,22 +45,55 @@ def _job_time(source: str, cached: bool, iterations: int, scale: Scale,
     return res.job_time
 
 
-def run(scale: Scale = SMALL, seeds: Sequence[int] = (0,),
-        iterations: int = 3) -> ExperimentResult:
+def cells(scale: Scale = SMALL, seeds: Sequence[int] = (0,),
+          iterations: int = 3) -> List[Cell]:
+    """One cell per (input source, caching on/off, seed) LR job."""
+    return [make_cell("ablation-mem", "job", scale, seed, source=source,
+                      cached=cached, iterations=int(iterations))
+            for source in ("hdfs", "lustre")
+            for cached in (True, False)
+            for seed in seeds]
+
+
+def run_cell(cell: Cell) -> Dict[str, float]:
+    p = cell.params_dict
+    return {"job_time": _job_time(p["source"], p["cached"],
+                                  p["iterations"], cell_scale(cell),
+                                  cell.seed)}
+
+
+def assemble(results: Mapping[Cell, Dict[str, float]],
+             scale: Scale = SMALL, seeds: Sequence[int] = (0,),
+             iterations: int = 3) -> ExperimentResult:
     result = ExperimentResult(
         "ablation-mem",
         "Memory-resident RDDs on vs off (LR, 3 iterations)",
         headers=["input_source", "cached_s", "uncached_s",
                  "caching_speedup"])
+
+    def seconds(source: str, is_cached: bool) -> float:
+        return median([results[make_cell(
+            "ablation-mem", "job", scale, s, source=source,
+            cached=is_cached, iterations=int(iterations))]["job_time"]
+            for s in seeds])
+
     for source in ("hdfs", "lustre"):
-        cached = median_result(
-            lambda s: _job_time(source, True, iterations, scale, s), seeds)
-        uncached = median_result(
-            lambda s: _job_time(source, False, iterations, scale, s), seeds)
+        cached = seconds(source, True)
+        uncached = seconds(source, False)
         result.add(source, cached, uncached, speedup(uncached, cached))
     result.note("memory residency should pay more on Lustre, where every "
                 "re-read competes for the shared OSS bandwidth")
     return result
+
+
+def run(scale: Scale = SMALL, seeds: Sequence[int] = (0,),
+        iterations: int = 3,
+        runner: Optional[SweepRunner] = None) -> ExperimentResult:
+    runner = runner if runner is not None else SweepRunner()
+    results = runner.run_cells(cells(scale=scale, seeds=seeds,
+                                     iterations=iterations))
+    return assemble(results, scale=scale, seeds=seeds,
+                    iterations=iterations)
 
 
 def main() -> None:  # pragma: no cover

@@ -3,9 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
-
-import numpy as np
+from typing import Dict, List
 
 from repro.cluster.spec import ClusterSpec, hyperion
 
@@ -14,7 +12,7 @@ MB = 1024.0 ** 2
 TB = 1024.0 ** 4
 
 __all__ = ["Scale", "SMALL", "MEDIUM", "FULL", "ExperimentResult",
-           "median_result", "GB", "MB", "TB"]
+           "GB", "MB", "TB"]
 
 
 @dataclass(frozen=True)
@@ -80,11 +78,3 @@ class ExperimentResult:
         if self.notes:
             out += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
         return out
-
-
-def median_result(run_one: Callable[[int], float],
-                  seeds: Sequence[int]) -> float:
-    """Median over seeds — the paper reports the median of five runs."""
-    if not seeds:
-        raise ValueError("need at least one seed")
-    return float(np.median([run_one(s) for s in seeds]))

@@ -16,15 +16,19 @@ Paper findings:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
+from repro.analysis.stats import median
 from repro.cluster.variability import LognormalSpeed
 from repro.core.engine import EngineOptions, run_job
 from repro.experiments.common import (GB, MB, Scale, SMALL,
-                                      ExperimentResult, median_result)
+                                      ExperimentResult)
+from repro.experiments.runner import (Cell, SweepRunner, cell_scale,
+                                      make_cell)
 from repro.workloads import grep_spec, logistic_regression_spec
 
-__all__ = ["run", "PAPER_GREP_SLOWDOWN_32MB", "PAPER_LR_LUSTRE_GAIN"]
+__all__ = ["run", "cells", "run_cell", "assemble",
+           "PAPER_GREP_SLOWDOWN_32MB", "PAPER_LR_LUSTRE_GAIN"]
 
 #: Paper: Lustre up to 5.7x worse than HDFS for Grep at 32 MB splits.
 PAPER_GREP_SLOWDOWN_32MB = 5.7
@@ -53,26 +57,55 @@ def _job_time(benchmark: str, source: str, split: float, scale: Scale,
     return res.job_time
 
 
-def run(scale: Scale = SMALL, seeds: Sequence[int] = (0,),
-        splits: Sequence[float] = SPLIT_SIZES) -> ExperimentResult:
+def cells(scale: Scale = SMALL, seeds: Sequence[int] = (0,),
+          splits: Sequence[float] = SPLIT_SIZES) -> List[Cell]:
+    """One cell per (benchmark, split, input source, seed) simulation."""
+    return [make_cell("fig05", "job", scale, seed, benchmark=benchmark,
+                      source=source, split=float(split))
+            for benchmark in ("grep", "lr")
+            for split in splits
+            for source in ("hdfs", "lustre")
+            for seed in seeds]
+
+
+def run_cell(cell: Cell) -> Dict[str, float]:
+    p = cell.params_dict
+    return {"job_time": _job_time(p["benchmark"], p["source"], p["split"],
+                                  cell_scale(cell), cell.seed)}
+
+
+def assemble(results: Mapping[Cell, Dict[str, float]],
+             scale: Scale = SMALL, seeds: Sequence[int] = (0,),
+             splits: Sequence[float] = SPLIT_SIZES) -> ExperimentResult:
     result = ExperimentResult(
         "fig05", "Job execution time: input from HDFS vs Lustre",
         headers=["benchmark", "split_MB", "hdfs_s", "lustre_s",
                  "lustre/hdfs"])
+
+    def seconds(benchmark: str, source: str, split: float) -> float:
+        return median([results[make_cell(
+            "fig05", "job", scale, s, benchmark=benchmark, source=source,
+            split=float(split))]["job_time"] for s in seeds])
+
     for benchmark in ("grep", "lr"):
         for split in splits:
-            hdfs = median_result(
-                lambda s: _job_time(benchmark, "hdfs", split, scale, s),
-                seeds)
-            lustre = median_result(
-                lambda s: _job_time(benchmark, "lustre", split, scale, s),
-                seeds)
+            hdfs = seconds(benchmark, "hdfs", split)
+            lustre = seconds(benchmark, "lustre", split)
             result.add(benchmark, split / MB, hdfs, lustre, lustre / hdfs)
     result.note(f"paper: Grep Lustre/HDFS up to {PAPER_GREP_SLOWDOWN_32MB}x "
                 f"at 32MB; LR Lustre ~{PAPER_LR_LUSTRE_GAIN}% faster")
     result.note(f"scale={scale.name} ({scale.n_nodes} nodes, "
                 f"{scale.bytes_of(PAPER_INPUT_BYTES) / GB:.0f} GB input)")
     return result
+
+
+def run(scale: Scale = SMALL, seeds: Sequence[int] = (0,),
+        splits: Sequence[float] = SPLIT_SIZES,
+        runner: Optional[SweepRunner] = None) -> ExperimentResult:
+    runner = runner if runner is not None else SweepRunner()
+    results = runner.run_cells(cells(scale=scale, seeds=seeds,
+                                     splits=splits))
+    return assemble(results, scale=scale, seeds=seeds, splits=splits)
 
 
 def main() -> None:  # pragma: no cover - CLI glue

@@ -19,17 +19,19 @@ stay comparable.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.cluster.variability import LognormalSpeed
 from repro.core.engine import EngineOptions, run_job
 from repro.core.metrics import JobResult
-from repro.experiments.common import (GB, Scale, SMALL, ExperimentResult,
-                                      median_result)
+from repro.experiments.common import GB, Scale, SMALL, ExperimentResult
+from repro.experiments.runner import (Cell, SweepRunner, cell_scale,
+                                      make_cell)
 from repro.storage.device import DeviceFullError
 from repro.workloads import groupby_spec
 
-__all__ = ["run", "PAPER_HDFS_SPEEDUP", "PAPER_SHARED_SLOWDOWN"]
+__all__ = ["run", "cells", "run_cell", "assemble",
+           "PAPER_HDFS_SPEEDUP", "PAPER_SHARED_SLOWDOWN"]
 
 PAPER_HDFS_SPEEDUP = 6.5      # HDFS vs Lustre-local, up to
 PAPER_SHARED_SLOWDOWN = 3.8   # Lustre-shared vs Lustre-local, up to
@@ -59,8 +61,31 @@ def _run_one(config: str, data_bytes: float, scale: Scale,
         return None
 
 
-def run(scale: Scale = SMALL, seeds: Sequence[int] = (0,),
-        data_sizes: Sequence[float] = PAPER_DATA_SIZES) -> ExperimentResult:
+def cells(scale: Scale = SMALL, seeds: Sequence[int] = (0,),
+          data_sizes: Sequence[float] = PAPER_DATA_SIZES) -> List[Cell]:
+    """One cell per (storage configuration, data size, seed) job."""
+    return [make_cell("fig07", "job", scale, seed, config=config,
+                      paper_gb=paper_bytes / GB)
+            for paper_bytes in data_sizes
+            for config in CONFIGS
+            for seed in seeds]
+
+
+def run_cell(cell: Cell) -> Dict[str, object]:
+    p = cell.params_dict
+    scale = cell_scale(cell)
+    res = _run_one(p["config"], scale.bytes_of(p["paper_gb"] * GB), scale,
+                   cell.seed)
+    if res is None:
+        return {"ok": False}
+    return {"ok": True, "job_time": res.job_time,
+            "store_time": res.store_time, "fetch_time": res.fetch_time}
+
+
+def assemble(results: Mapping[Cell, Dict[str, object]],
+             scale: Scale = SMALL, seeds: Sequence[int] = (0,),
+             data_sizes: Sequence[float] = PAPER_DATA_SIZES
+             ) -> ExperimentResult:
     result = ExperimentResult(
         "fig07", "GroupBy with intermediate data on HDFS vs Lustre",
         headers=["data_GB(paper)", "hdfs_s", "lustre_local_s",
@@ -68,28 +93,29 @@ def run(scale: Scale = SMALL, seeds: Sequence[int] = (0,),
                  "local_store_s", "local_fetch_s", "shared_store_s",
                  "shared_fetch_s"])
     for paper_bytes in data_sizes:
-        data = scale.bytes_of(paper_bytes)
-        runs: Dict[str, Optional[JobResult]] = {}
+        runs: Dict[str, Optional[Dict[str, object]]] = {}
         for config in CONFIGS:
-            outcomes = [_run_one(config, data, scale, s) for s in seeds]
-            ok = [r for r in outcomes if r is not None]
-            runs[config] = (sorted(ok, key=lambda r: r.job_time)
+            outcomes = [results[make_cell(
+                "fig07", "job", scale, s, config=config,
+                paper_gb=paper_bytes / GB)] for s in seeds]
+            ok = [r for r in outcomes if r["ok"]]
+            runs[config] = (sorted(ok, key=lambda r: r["job_time"])
                             [len(ok) // 2] if ok else None)
         hdfs, local, shared = (runs["hdfs"], runs["lustre-local"],
                                runs["lustre-shared"])
         result.add(
             paper_bytes / GB,
-            hdfs.job_time if hdfs else float("nan"),
-            local.job_time if local else float("nan"),
-            shared.job_time if shared else float("nan"),
-            (local.job_time / hdfs.job_time) if hdfs and local
+            hdfs["job_time"] if hdfs else float("nan"),
+            local["job_time"] if local else float("nan"),
+            shared["job_time"] if shared else float("nan"),
+            (local["job_time"] / hdfs["job_time"]) if hdfs and local
             else float("nan"),
-            (shared.job_time / local.job_time) if shared and local
+            (shared["job_time"] / local["job_time"]) if shared and local
             else float("nan"),
-            local.store_time if local else float("nan"),
-            local.fetch_time if local else float("nan"),
-            shared.store_time if shared else float("nan"),
-            shared.fetch_time if shared else float("nan"),
+            local["store_time"] if local else float("nan"),
+            local["fetch_time"] if local else float("nan"),
+            shared["store_time"] if shared else float("nan"),
+            shared["fetch_time"] if shared else float("nan"),
         )
     result.note(f"paper: HDFS up to {PAPER_HDFS_SPEEDUP}x over "
                 f"Lustre-local; Lustre-shared up to "
@@ -97,6 +123,16 @@ def run(scale: Scale = SMALL, seeds: Sequence[int] = (0,),
     result.note(f"scale={scale.name}; data sizes are paper-scale labels, "
                 f"run at {scale.data_factor:.2f}x volume")
     return result
+
+
+def run(scale: Scale = SMALL, seeds: Sequence[int] = (0,),
+        data_sizes: Sequence[float] = PAPER_DATA_SIZES,
+        runner: Optional[SweepRunner] = None) -> ExperimentResult:
+    runner = runner if runner is not None else SweepRunner()
+    results = runner.run_cells(cells(scale=scale, seeds=seeds,
+                                     data_sizes=data_sizes))
+    return assemble(results, scale=scale, seeds=seeds,
+                    data_sizes=data_sizes)
 
 
 def main() -> None:  # pragma: no cover

@@ -20,7 +20,7 @@ range.  Paper findings:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -29,10 +29,13 @@ from repro.core.engine import EngineOptions, run_job
 from repro.core.metrics import JobResult
 from repro.experiments.common import (GB, HDFS_RAMDISK_MAX_BYTES, TB,
                                       Scale, SMALL, ExperimentResult)
+from repro.experiments.runner import (Cell, SweepRunner, cell_scale,
+                                      make_cell)
 from repro.storage.device import DeviceFullError
 from repro.workloads import groupby_spec
 
-__all__ = ["run", "run_task_trace", "PAPER_TASK_SPREAD_1_5TB"]
+__all__ = ["run", "run_task_trace", "cells", "run_cell", "assemble",
+           "PAPER_TASK_SPREAD_1_5TB"]
 
 PAPER_TASK_SPREAD_1_5TB = 18.0
 
@@ -56,26 +59,57 @@ def _run_one(store: str, data_bytes: float, scale: Scale,
         return None  # RAMDisk curve ends where capacity runs out
 
 
-def run(scale: Scale = SMALL, seeds: Sequence[int] = (0,),
-        data_sizes: Sequence[float] = PAPER_DATA_SIZES) -> ExperimentResult:
+def cells(scale: Scale = SMALL, seeds: Sequence[int] = (0,),
+          data_sizes: Sequence[float] = PAPER_DATA_SIZES) -> List[Cell]:
+    """One cell per (store, data size, seed) job."""
+    return [make_cell("fig08", "job", scale, seed, store=store,
+                      paper_gb=paper_bytes / GB)
+            for paper_bytes in data_sizes
+            for store in ("ramdisk", "ssd")
+            for seed in seeds]
+
+
+def run_cell(cell: Cell) -> Dict[str, object]:
+    p = cell.params_dict
+    scale = cell_scale(cell)
+    paper_bytes = p["paper_gb"] * GB
+    res = _run_one(p["store"], scale.bytes_of(paper_bytes), scale,
+                   cell.seed, paper_bytes)
+    if res is None:
+        return {"ok": False}
+    return {"ok": True, "job_time": res.job_time,
+            "compute_time": res.compute_time, "store_time": res.store_time,
+            "fetch_time": res.fetch_time,
+            "task_spread": res.phases["store"].min_max_spread()}
+
+
+def assemble(results: Mapping[Cell, Dict[str, object]],
+             scale: Scale = SMALL, seeds: Sequence[int] = (0,),
+             data_sizes: Sequence[float] = PAPER_DATA_SIZES
+             ) -> ExperimentResult:
     result = ExperimentResult(
         "fig08", "GroupBy intermediate data on SSD vs RAMDisk",
         headers=["data_GB(paper)", "ramdisk_s", "ssd_s", "ssd/ramdisk",
                  "ssd_compute_s", "ssd_store_s", "ssd_fetch_s",
                  "ssd_task_spread"])
     for paper_bytes in data_sizes:
-        data = scale.bytes_of(paper_bytes)
-        ram = _median(_runs("ramdisk", data, scale, seeds, paper_bytes))
-        ssd = _median(_runs("ssd", data, scale, seeds, paper_bytes))
+        outcomes = {
+            store: [results[make_cell("fig08", "job", scale, s, store=store,
+                                      paper_gb=paper_bytes / GB)]
+                    for s in seeds]
+            for store in ("ramdisk", "ssd")}
+        ram = _median([r if r["ok"] else None for r in outcomes["ramdisk"]])
+        ssd = _median([r if r["ok"] else None for r in outcomes["ssd"]])
         result.add(
             paper_bytes / GB,
-            ram.job_time if ram else float("nan"),
-            ssd.job_time if ssd else float("nan"),
-            (ssd.job_time / ram.job_time) if ram and ssd else float("nan"),
-            ssd.compute_time if ssd else float("nan"),
-            ssd.store_time if ssd else float("nan"),
-            ssd.fetch_time if ssd else float("nan"),
-            ssd.phases["store"].min_max_spread() if ssd else float("nan"),
+            ram["job_time"] if ram else float("nan"),
+            ssd["job_time"] if ssd else float("nan"),
+            (ssd["job_time"] / ram["job_time"]) if ram and ssd
+            else float("nan"),
+            ssd["compute_time"] if ssd else float("nan"),
+            ssd["store_time"] if ssd else float("nan"),
+            ssd["fetch_time"] if ssd else float("nan"),
+            ssd["task_spread"] if ssd else float("nan"),
         )
     result.note("paper: SSD ~= RAMDisk <= 600 GB (page cache); RAMDisk "
                 "wins > 700 GB; storing collapses > 900 GB (SSD GC); "
@@ -83,6 +117,16 @@ def run(scale: Scale = SMALL, seeds: Sequence[int] = (0,),
     result.note(f"scale={scale.name}; sizes are paper labels at "
                 f"{scale.data_factor:.2f}x volume")
     return result
+
+
+def run(scale: Scale = SMALL, seeds: Sequence[int] = (0,),
+        data_sizes: Sequence[float] = PAPER_DATA_SIZES,
+        runner: Optional[SweepRunner] = None) -> ExperimentResult:
+    runner = runner if runner is not None else SweepRunner()
+    results = runner.run_cells(cells(scale=scale, seeds=seeds,
+                                     data_sizes=data_sizes))
+    return assemble(results, scale=scale, seeds=seeds,
+                    data_sizes=data_sizes)
 
 
 def run_task_trace(scale: Scale = SMALL, seed: int = 0,
@@ -110,16 +154,12 @@ def run_task_trace(scale: Scale = SMALL, seed: int = 0,
     return result
 
 
-def _runs(store: str, data: float, scale: Scale, seeds: Sequence[int],
-          paper_bytes: Optional[float] = None) -> List[Optional[JobResult]]:
-    return [_run_one(store, data, scale, s, paper_bytes) for s in seeds]
-
-
-def _median(outcomes: List[Optional[JobResult]]) -> Optional[JobResult]:
+def _median(outcomes: List[Optional[Dict[str, object]]]
+            ) -> Optional[Dict[str, object]]:
     ok = [r for r in outcomes if r is not None]
     if not ok:
         return None
-    return sorted(ok, key=lambda r: r.job_time)[len(ok) // 2]
+    return sorted(ok, key=lambda r: r["job_time"])[len(ok) // 2]
 
 
 def main() -> None:  # pragma: no cover

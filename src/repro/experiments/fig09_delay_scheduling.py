@@ -8,15 +8,19 @@ degradation at other split sizes.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
+from repro.analysis.stats import median
 from repro.cluster.variability import LognormalSpeed
 from repro.core.engine import EngineOptions, run_job
 from repro.experiments.common import (GB, MB, Scale, SMALL,
-                                      ExperimentResult, median_result)
+                                      ExperimentResult)
+from repro.experiments.runner import (Cell, SweepRunner, cell_scale,
+                                      make_cell)
 from repro.workloads import grep_spec, logistic_regression_spec
 
-__all__ = ["run", "PAPER_GREP_DEGRADATION", "PAPER_LR_DEGRADATION"]
+__all__ = ["run", "cells", "run_cell", "assemble",
+           "PAPER_GREP_DEGRADATION", "PAPER_LR_DEGRADATION"]
 
 PAPER_GREP_DEGRADATION = 42.7   # percent, 32 MB splits
 PAPER_LR_DEGRADATION = 9.9      # percent, 32 MB splits
@@ -40,26 +44,55 @@ def _job_time(benchmark: str, delay: bool, split: float, scale: Scale,
     return res.job_time
 
 
-def run(scale: Scale = SMALL, seeds: Sequence[int] = (0,),
-        splits: Sequence[float] = SPLIT_SIZES) -> ExperimentResult:
+def cells(scale: Scale = SMALL, seeds: Sequence[int] = (0,),
+          splits: Sequence[float] = SPLIT_SIZES) -> List[Cell]:
+    """One cell per (benchmark, split, delay on/off, seed) job."""
+    return [make_cell("fig09", "job", scale, seed, benchmark=benchmark,
+                      delay=delay, split=float(split))
+            for benchmark in ("grep", "lr")
+            for split in splits
+            for delay in (False, True)
+            for seed in seeds]
+
+
+def run_cell(cell: Cell) -> Dict[str, float]:
+    p = cell.params_dict
+    return {"job_time": _job_time(p["benchmark"], p["delay"], p["split"],
+                                  cell_scale(cell), cell.seed)}
+
+
+def assemble(results: Mapping[Cell, Dict[str, float]],
+             scale: Scale = SMALL, seeds: Sequence[int] = (0,),
+             splits: Sequence[float] = SPLIT_SIZES) -> ExperimentResult:
     result = ExperimentResult(
         "fig09", "Delay scheduling on vs off (HDFS configuration)",
         headers=["benchmark", "split_MB", "immediate_s", "delay_s",
                  "degradation_%"])
+
+    def seconds(benchmark: str, delay: bool, split: float) -> float:
+        return median([results[make_cell(
+            "fig09", "job", scale, s, benchmark=benchmark, delay=delay,
+            split=float(split))]["job_time"] for s in seeds])
+
     for benchmark in ("grep", "lr"):
         for split in splits:
-            off = median_result(
-                lambda s: _job_time(benchmark, False, split, scale, s),
-                seeds)
-            on = median_result(
-                lambda s: _job_time(benchmark, True, split, scale, s),
-                seeds)
+            off = seconds(benchmark, False, split)
+            on = seconds(benchmark, True, split)
             result.add(benchmark, split / MB, off, on,
                        (on - off) / off * 100.0)
     result.note(f"paper at 32MB: Grep +{PAPER_GREP_DEGRADATION}%, "
                 f"LR +{PAPER_LR_DEGRADATION}%")
     result.note(f"scale={scale.name}")
     return result
+
+
+def run(scale: Scale = SMALL, seeds: Sequence[int] = (0,),
+        splits: Sequence[float] = SPLIT_SIZES,
+        runner: Optional[SweepRunner] = None) -> ExperimentResult:
+    runner = runner if runner is not None else SweepRunner()
+    results = runner.run_cells(cells(scale=scale, seeds=seeds,
+                                     splits=splits))
+    return assemble(results, scale=scale, seeds=seeds, splits=splits)
 
 
 def main() -> None:  # pragma: no cover

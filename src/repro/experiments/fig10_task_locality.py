@@ -9,7 +9,7 @@ DataNode read keeps up with a local one.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -17,9 +17,11 @@ from repro.cluster.variability import LognormalSpeed
 from repro.core.engine import EngineOptions, run_job
 from repro.experiments.common import (GB, MB, Scale, SMALL,
                                       ExperimentResult)
+from repro.experiments.runner import (Cell, SweepRunner, cell_scale,
+                                      make_cell)
 from repro.workloads import grep_spec, groupby_spec, logistic_regression_spec
 
-__all__ = ["run"]
+__all__ = ["run", "cells", "run_cell", "assemble"]
 
 PAPER_INPUT_BYTES = 100 * GB
 
@@ -41,25 +43,46 @@ def _specs(scale: Scale):
     }
 
 
-def run(scale: Scale = SMALL, seeds: Sequence[int] = (0,)
-        ) -> ExperimentResult:
+def cells(scale: Scale = SMALL, seeds: Sequence[int] = (0,)) -> List[Cell]:
+    """One cell per (benchmark, seed) job; each yields the per-task
+    local/remote duration populations."""
+    return [make_cell("fig10", "job", scale, seed, benchmark=name)
+            for name in _specs(scale)
+            for seed in seeds]
+
+
+def run_cell(cell: Cell) -> Dict[str, List[float]]:
+    scale = cell_scale(cell)
+    spec = _specs(scale)[cell.params_dict["benchmark"]]
+    res = run_job(spec, cluster_spec=scale.cluster(),
+                  options=EngineOptions(seed=cell.seed),
+                  speed_model=LognormalSpeed(sigma=0.14))
+    local: List[float] = []
+    remote: List[float] = []
+    for t in res.phases["compute"].tasks:
+        if t.local is True:
+            local.append(t.duration)
+        elif t.local is False:
+            remote.append(t.duration)
+    return {"local": local, "remote": remote}
+
+
+def assemble(results: Mapping[Cell, Dict[str, List[float]]],
+             scale: Scale = SMALL, seeds: Sequence[int] = (0,)
+             ) -> ExperimentResult:
     result = ExperimentResult(
         "fig10", "Task execution time: local vs remote input data",
         headers=["benchmark", "local_mean_s", "local_min_s", "local_max_s",
                  "remote_mean_s", "remote_min_s", "remote_max_s",
                  "remote/local"])
-    for name, spec in _specs(scale).items():
+    for name in _specs(scale):
         local: List[float] = []
         remote: List[float] = []
         for seed in seeds:
-            res = run_job(spec, cluster_spec=scale.cluster(),
-                          options=EngineOptions(seed=seed),
-                          speed_model=LognormalSpeed(sigma=0.14))
-            for t in res.phases["compute"].tasks:
-                if t.local is True:
-                    local.append(t.duration)
-                elif t.local is False:
-                    remote.append(t.duration)
+            durations = results[make_cell("fig10", "job", scale, seed,
+                                          benchmark=name)]
+            local.extend(durations["local"])
+            remote.extend(durations["remote"])
         lm = _stats(local)
         rm = _stats(remote)
         ratio = (rm[0] / lm[0]) if local and remote else float("nan")
@@ -69,6 +92,13 @@ def run(scale: Scale = SMALL, seeds: Sequence[int] = (0,)
     result.note("GroupBy generates input in memory, so it has no "
                 "local/remote distinction (n/a rows)")
     return result
+
+
+def run(scale: Scale = SMALL, seeds: Sequence[int] = (0,),
+        runner: Optional[SweepRunner] = None) -> ExperimentResult:
+    runner = runner if runner is not None else SweepRunner()
+    results = runner.run_cells(cells(scale=scale, seeds=seeds))
+    return assemble(results, scale=scale, seeds=seeds)
 
 
 def _stats(durations: List[float]):

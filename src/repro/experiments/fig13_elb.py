@@ -17,7 +17,7 @@ the cluster average and routes the rest to lightly loaded nodes.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.analysis.stats import improvement
 from repro.cluster.variability import LognormalSpeed
@@ -26,9 +26,12 @@ from repro.core.engine import EngineOptions, run_job
 from repro.core.metrics import JobResult
 from repro.experiments.common import (GB, TB, Scale, SMALL,
                                       ExperimentResult)
+from repro.experiments.runner import (Cell, SweepRunner, cell_scale,
+                                      make_cell)
 from repro.workloads import groupby_spec
 
-__all__ = ["run", "PAPER_STORAGE_GAIN", "PAPER_NETWORK_SHUFFLE_GAIN"]
+__all__ = ["run", "cells", "run_cell", "assemble",
+           "PAPER_STORAGE_GAIN", "PAPER_NETWORK_SHUFFLE_GAIN"]
 
 PAPER_STORAGE_GAIN = 26.0          # % job time, 1-1.5 TB, SSD bottleneck
 PAPER_NETWORK_SHUFFLE_GAIN = 29.1  # % shuffle time, network bottleneck
@@ -64,9 +67,33 @@ def _run_one(data: float, elb: bool, scenario: str, scale: Scale,
                    speed_model=speed_model)
 
 
-def run(scale: Scale = SMALL, seeds: Sequence[int] = (0,),
-        storage_sizes: Sequence[float] = STORAGE_SIZES,
-        network_sizes: Sequence[float] = NETWORK_SIZES) -> ExperimentResult:
+def cells(scale: Scale = SMALL, seeds: Sequence[int] = (0,),
+          storage_sizes: Sequence[float] = STORAGE_SIZES,
+          network_sizes: Sequence[float] = NETWORK_SIZES) -> List[Cell]:
+    """One cell per (scenario, data size, elb on/off, seed) job."""
+    return [make_cell("fig13", "job", scale, seed, scenario=scenario,
+                      paper_gb=paper_bytes / GB, elb=elb)
+            for scenario, sizes in (("storage", storage_sizes),
+                                    ("network", network_sizes))
+            for paper_bytes in sizes
+            for elb in (False, True)
+            for seed in seeds]
+
+
+def run_cell(cell: Cell) -> Dict[str, float]:
+    p = cell.params_dict
+    scale = cell_scale(cell)
+    res = _run_one(scale.bytes_of(p["paper_gb"] * GB), p["elb"],
+                   p["scenario"], scale, cell.seed)
+    return {"job_time": res.job_time, "store_time": res.store_time,
+            "fetch_time": res.fetch_time}
+
+
+def assemble(results: Mapping[Cell, Dict[str, float]],
+             scale: Scale = SMALL, seeds: Sequence[int] = (0,),
+             storage_sizes: Sequence[float] = STORAGE_SIZES,
+             network_sizes: Sequence[float] = NETWORK_SIZES
+             ) -> ExperimentResult:
     result = ExperimentResult(
         "fig13", "ELB vs stock Spark under storage / network bottlenecks",
         headers=["scenario", "data_GB(paper)", "spark_s", "elb_s",
@@ -75,16 +102,16 @@ def run(scale: Scale = SMALL, seeds: Sequence[int] = (0,),
     for scenario, sizes in (("storage", storage_sizes),
                             ("network", network_sizes)):
         for paper_bytes in sizes:
-            data = scale.bytes_of(paper_bytes)
-            spark = _median([_run_one(data, False, scenario, scale, s)
-                             for s in seeds])
-            elb = _median([_run_one(data, True, scenario, scale, s)
-                           for s in seeds])
+            spark, elb = (
+                _median([results[make_cell(
+                    "fig13", "job", scale, s, scenario=scenario,
+                    paper_gb=paper_bytes / GB, elb=flag)] for s in seeds])
+                for flag in (False, True))
             result.add(scenario, paper_bytes / GB,
-                       spark.job_time, elb.job_time,
-                       improvement(spark.job_time, elb.job_time),
-                       spark.store_time, elb.store_time,
-                       spark.fetch_time, elb.fetch_time)
+                       spark["job_time"], elb["job_time"],
+                       improvement(spark["job_time"], elb["job_time"]),
+                       spark["store_time"], elb["store_time"],
+                       spark["fetch_time"], elb["fetch_time"])
     result.note(f"paper: storage ~{PAPER_STORAGE_GAIN}% job gain at "
                 f"1-1.5TB; network shuffle ~{PAPER_NETWORK_SHUFFLE_GAIN}% "
                 "faster")
@@ -92,8 +119,21 @@ def run(scale: Scale = SMALL, seeds: Sequence[int] = (0,),
     return result
 
 
-def _median(runs):
-    return sorted(runs, key=lambda r: r.job_time)[len(runs) // 2]
+def run(scale: Scale = SMALL, seeds: Sequence[int] = (0,),
+        storage_sizes: Sequence[float] = STORAGE_SIZES,
+        network_sizes: Sequence[float] = NETWORK_SIZES,
+        runner: Optional[SweepRunner] = None) -> ExperimentResult:
+    runner = runner if runner is not None else SweepRunner()
+    results = runner.run_cells(cells(
+        scale=scale, seeds=seeds, storage_sizes=storage_sizes,
+        network_sizes=network_sizes))
+    return assemble(results, scale=scale, seeds=seeds,
+                    storage_sizes=storage_sizes,
+                    network_sizes=network_sizes)
+
+
+def _median(runs: List[Dict[str, float]]) -> Dict[str, float]:
+    return sorted(runs, key=lambda r: r["job_time"])[len(runs) // 2]
 
 
 def main() -> None:  # pragma: no cover

@@ -8,7 +8,7 @@ phases; job execution time improves ~19.8 % on average.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.analysis.stats import improvement
 from repro.cluster.variability import LognormalSpeed
@@ -16,9 +16,12 @@ from repro.core.engine import EngineOptions, run_job
 from repro.core.metrics import JobResult
 from repro.experiments.common import (GB, TB, Scale, SMALL,
                                       ExperimentResult)
+from repro.experiments.runner import (Cell, SweepRunner, cell_scale,
+                                      make_cell)
 from repro.workloads import groupby_spec
 
-__all__ = ["run", "PAPER_STORE_GAIN", "PAPER_JOB_GAIN"]
+__all__ = ["run", "cells", "run_cell", "assemble",
+           "PAPER_STORE_GAIN", "PAPER_JOB_GAIN"]
 
 PAPER_STORE_GAIN = 41.2   # % storing-phase gain, 700 GB - 1.5 TB
 PAPER_JOB_GAIN = 19.8     # % average job-time gain
@@ -34,22 +37,45 @@ def _run_one(data: float, cad: bool, scale: Scale, seed: int) -> JobResult:
                    speed_model=LognormalSpeed())
 
 
-def run(scale: Scale = SMALL, seeds: Sequence[int] = (0,),
-        data_sizes: Sequence[float] = PAPER_DATA_SIZES) -> ExperimentResult:
+def cells(scale: Scale = SMALL, seeds: Sequence[int] = (0,),
+          data_sizes: Sequence[float] = PAPER_DATA_SIZES) -> List[Cell]:
+    """One cell per (data size, cad on/off, seed) job."""
+    return [make_cell("fig14", "job", scale, seed,
+                      paper_gb=paper_bytes / GB, cad=cad)
+            for paper_bytes in data_sizes
+            for cad in (False, True)
+            for seed in seeds]
+
+
+def run_cell(cell: Cell) -> Dict[str, float]:
+    p = cell.params_dict
+    scale = cell_scale(cell)
+    res = _run_one(scale.bytes_of(p["paper_gb"] * GB), p["cad"], scale,
+                   cell.seed)
+    return {"job_time": res.job_time, "store_time": res.store_time,
+            "fetch_time": res.fetch_time}
+
+
+def assemble(results: Mapping[Cell, Dict[str, float]],
+             scale: Scale = SMALL, seeds: Sequence[int] = (0,),
+             data_sizes: Sequence[float] = PAPER_DATA_SIZES
+             ) -> ExperimentResult:
     result = ExperimentResult(
         "fig14", "CAD vs stock Spark dispatch (SSD intermediate data)",
         headers=["data_GB(paper)", "spark_s", "cad_s", "job_gain_%",
                  "spark_store_s", "cad_store_s", "store_gain_%",
                  "spark_fetch_s", "cad_fetch_s"])
     for paper_bytes in data_sizes:
-        data = scale.bytes_of(paper_bytes)
-        spark = _median([_run_one(data, False, scale, s) for s in seeds])
-        cad = _median([_run_one(data, True, scale, s) for s in seeds])
-        result.add(paper_bytes / GB, spark.job_time, cad.job_time,
-                   improvement(spark.job_time, cad.job_time),
-                   spark.store_time, cad.store_time,
-                   improvement(spark.store_time, cad.store_time),
-                   spark.fetch_time, cad.fetch_time)
+        spark, cad = (
+            _median([results[make_cell("fig14", "job", scale, s,
+                                       paper_gb=paper_bytes / GB,
+                                       cad=flag)] for s in seeds])
+            for flag in (False, True))
+        result.add(paper_bytes / GB, spark["job_time"], cad["job_time"],
+                   improvement(spark["job_time"], cad["job_time"]),
+                   spark["store_time"], cad["store_time"],
+                   improvement(spark["store_time"], cad["store_time"]),
+                   spark["fetch_time"], cad["fetch_time"])
     result.note(f"paper: storing phase up to -{PAPER_STORE_GAIN}% beyond "
                 f"700GB; job time -{PAPER_JOB_GAIN}% on average; no effect "
                 "below ~600GB")
@@ -57,8 +83,18 @@ def run(scale: Scale = SMALL, seeds: Sequence[int] = (0,),
     return result
 
 
-def _median(runs):
-    return sorted(runs, key=lambda r: r.job_time)[len(runs) // 2]
+def run(scale: Scale = SMALL, seeds: Sequence[int] = (0,),
+        data_sizes: Sequence[float] = PAPER_DATA_SIZES,
+        runner: Optional[SweepRunner] = None) -> ExperimentResult:
+    runner = runner if runner is not None else SweepRunner()
+    results = runner.run_cells(cells(scale=scale, seeds=seeds,
+                                     data_sizes=data_sizes))
+    return assemble(results, scale=scale, seeds=seeds,
+                    data_sizes=data_sizes)
+
+
+def _median(runs: List[Dict[str, float]]) -> Dict[str, float]:
+    return sorted(runs, key=lambda r: r["job_time"])[len(runs) // 2]
 
 
 def main() -> None:  # pragma: no cover

@@ -1,7 +1,17 @@
-"""Experiment registry: id → module, for the CLI and the bench harness."""
+"""Experiment registry: id → module, for the CLI, validator, and sweep
+runner.
+
+Two lookup surfaces:
+
+* :func:`get` — the experiment's top-level ``run`` callable (legacy
+  serial entry point; still what ``table1``/``fig08d`` use);
+* :func:`module` / :func:`supports_cells` — the module itself, for the
+  sweep runner's ``cells()`` / ``run_cell()`` / ``assemble()`` protocol.
+"""
 
 from __future__ import annotations
 
+from types import ModuleType
 from typing import Callable, Dict
 
 from repro.experiments import (
@@ -17,7 +27,22 @@ from repro.experiments import (
     table1_config,
 )
 
-__all__ = ["EXPERIMENTS", "get"]
+__all__ = ["EXPERIMENTS", "MODULES", "get", "module", "supports_cells"]
+
+MODULES: Dict[str, ModuleType] = {
+    "table1": table1_config,
+    "fig05": fig05_input_location,
+    "fig07": fig07_intermediate_lustre,
+    "fig08": fig08_ssd,
+    "fig08d": fig08_ssd,
+    "fig09": fig09_delay_scheduling,
+    "fig10": fig10_task_locality,
+    "fig12": fig12_load_imbalance,
+    "fig13": fig13_elb,
+    "fig14": fig14_cad,
+    # Extras beyond the paper's figures:
+    "ablation-mem": ablation_memory_resident,
+}
 
 EXPERIMENTS: Dict[str, Callable] = {
     "table1": table1_config.run,
@@ -43,3 +68,25 @@ def get(experiment_id: str) -> Callable:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known: {known}"
         ) from None
+
+
+def module(experiment_id: str) -> ModuleType:
+    """The module implementing ``experiment_id`` (KeyError like get)."""
+    try:
+        return MODULES[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(MODULES))
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def supports_cells(experiment_id: str) -> bool:
+    """Whether the experiment decomposes into sweep-runner cells.
+
+    ``fig08d`` shares a module with ``fig08`` but is a single task-trace
+    run with its own entry point, so it is not cell-decomposed.
+    """
+    if experiment_id == "fig08d":
+        return False
+    return hasattr(module(experiment_id), "cells")

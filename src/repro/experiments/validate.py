@@ -11,10 +11,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments import registry
 from repro.experiments.common import GB, Scale, SMALL, ExperimentResult
+from repro.experiments.runner import SweepRunner
 
 __all__ = ["Claim", "CLAIMS", "validate", "render_report"]
 
@@ -133,16 +134,35 @@ CLAIMS: List[Claim] = [
 
 
 def validate(scale: Scale = SMALL,
-             seeds: Sequence[int] = (0, 1, 2)) -> List[Dict]:
-    """Run all experiments once and evaluate every claim."""
-    results: Dict[str, ExperimentResult] = {}
+             seeds: Sequence[int] = (0, 1, 2),
+             runner: Optional[SweepRunner] = None) -> List[Dict]:
+    """Run all experiments once and evaluate every claim.
+
+    Every cell-decomposable experiment contributes its cells to **one**
+    batch handed to the sweep runner, so ``--jobs N`` parallelises
+    across experiments, not just within one, and the result cache is
+    consulted per cell.  Passing no runner keeps the historical
+    serial, side-effect-free behaviour.
+    """
+    runner = runner if runner is not None else SweepRunner()
     needed = {c.experiment for c in CLAIMS}
+    celled = [e for e in sorted(needed) if registry.supports_cells(e)]
+    batch = []
+    for exp_id in celled:
+        batch.extend(registry.module(exp_id).cells(scale=scale,
+                                                   seeds=tuple(seeds)))
+    cell_results = runner.run_cells(batch)
+
+    results: Dict[str, ExperimentResult] = {}
     for exp_id in sorted(needed):
-        run = registry.get(exp_id)
-        if exp_id == "table1":
-            results[exp_id] = run()
+        if exp_id in celled:
+            results[exp_id] = registry.module(exp_id).assemble(
+                cell_results, scale=scale, seeds=tuple(seeds))
+        elif exp_id == "table1":
+            results[exp_id] = registry.get(exp_id)()
         else:
-            results[exp_id] = run(scale=scale, seeds=tuple(seeds))
+            results[exp_id] = registry.get(exp_id)(scale=scale,
+                                                   seeds=tuple(seeds))
     report = []
     for claim in CLAIMS:
         res = results[claim.experiment]

@@ -24,15 +24,22 @@ def grep_spec(input_bytes: float,
               input_source: str = "hdfs",
               scan_rate: float = 250 * MB,
               intermediate_bytes: float = 64 * MB,
-              n_reducers: Optional[int] = None) -> JobSpec:
+              n_reducers: Optional[int] = None,
+              shuffle_store: Optional[str] = None) -> JobSpec:
     """The simulated Grep job.
 
     ``scan_rate`` is the per-core regex-scan throughput — deliberately
     high: Grep's cost is reading, not computing.  The tiny intermediate
     volume (1–200 MB in the paper's runs) still exercises the shuffle
     machinery without ever making it the bottleneck.
+
+    ``shuffle_store=None`` picks the configuration's natural device
+    (RAMDisk shuffle dirs, or Lustre when the input comes from Lustre);
+    pass ``"ramdisk"``/``"ssd"``/``"lustre"`` to pin it.
     """
     ratio = min(1.0, intermediate_bytes / input_bytes) if input_bytes else 0.0
+    if shuffle_store is None:
+        shuffle_store = "ramdisk" if input_source != "lustre" else "lustre"
     return JobSpec(
         name="Grep",
         input_bytes=input_bytes,
@@ -40,8 +47,9 @@ def grep_spec(input_bytes: float,
         map_compute_rate=scan_rate,
         intermediate_ratio=ratio,
         input_source=input_source,
-        shuffle_store="ramdisk" if input_source != "lustre" else "lustre",
-        fetch_mode="network" if input_source != "lustre" else "lustre-local",
+        shuffle_store=shuffle_store,
+        fetch_mode="network" if shuffle_store != "lustre"
+        else "lustre-local",
         n_reducers=n_reducers,
         # A text corpus is ingested from outside through gateway nodes, so
         # its HDFS blocks are hotspot-skewed; scan times vary per split

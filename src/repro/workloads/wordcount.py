@@ -26,15 +26,20 @@ def wordcount_spec(input_bytes: float,
                    input_source: str = "hdfs",
                    combine_ratio: float = 0.15,
                    scan_rate: float = 180 * MB,
-                   n_reducers: Optional[int] = None) -> JobSpec:
+                   n_reducers: Optional[int] = None,
+                   shuffle_store: Optional[str] = None) -> JobSpec:
     """Simulated WordCount.
 
     ``combine_ratio`` is the shuffle volume relative to input after
     map-side combining (word frequencies follow a Zipf law, so combining
-    is very effective on natural text).
+    is very effective on natural text).  ``shuffle_store=None`` picks
+    the configuration's natural device; pass ``"ramdisk"``/``"ssd"``/
+    ``"lustre"`` to pin it.
     """
     if not 0 < combine_ratio <= 1:
         raise ValueError("combine_ratio must be in (0, 1]")
+    if shuffle_store is None:
+        shuffle_store = "ramdisk" if input_source != "lustre" else "lustre"
     return JobSpec(
         name="WordCount",
         input_bytes=input_bytes,
@@ -42,8 +47,9 @@ def wordcount_spec(input_bytes: float,
         map_compute_rate=scan_rate,
         intermediate_ratio=combine_ratio,
         input_source=input_source,
-        shuffle_store="ramdisk" if input_source != "lustre" else "lustre",
-        fetch_mode="network" if input_source != "lustre" else "lustre-local",
+        shuffle_store=shuffle_store,
+        fetch_mode="network" if shuffle_store != "lustre"
+        else "lustre-local",
         n_reducers=n_reducers,
         hdfs_placement="skewed",          # text corpus, like Grep
         compute_noise_sigma=0.25,

@@ -3,11 +3,14 @@
 import numpy as np
 import pytest
 
+import math
+
 from repro.analysis import (
     ascii_bar_chart,
     cdf,
     format_table,
     improvement,
+    median,
     median_of,
     percentile_spread,
     ratio,
@@ -54,9 +57,21 @@ class TestStats:
         with pytest.raises(ValueError):
             median_of(lambda s: 0.0, [])
 
+    def test_median_values(self):
+        assert median([5.0, 1.0, 3.0]) == 3.0
+        assert median([4.0, 2.0]) == 3.0
+
+    def test_median_empty_raises(self):
+        with pytest.raises(ValueError):
+            median([])
+
     def test_ratio_guard(self):
         assert ratio(1.0, 0.0) == float("inf")
         assert ratio(6.0, 3.0) == 2.0
+
+    def test_ratio_zero_over_zero_is_nan(self):
+        # 0/0 is "no measurement", not "infinitely worse".
+        assert math.isnan(ratio(0.0, 0.0))
 
     def test_speedup_and_improvement(self):
         assert speedup(10.0, 5.0) == 2.0

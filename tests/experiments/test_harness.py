@@ -4,8 +4,9 @@ actual experiments live in benchmarks/)."""
 import pytest
 
 from repro.experiments.common import FULL, GB, MEDIUM, SMALL, Scale, \
-    ExperimentResult, median_result
-from repro.experiments.registry import EXPERIMENTS, get
+    ExperimentResult
+from repro.experiments.registry import EXPERIMENTS, get, module, \
+    supports_cells
 from repro.experiments.table1_config import run as run_table1
 
 
@@ -65,13 +66,23 @@ class TestRegistry:
             get("fig99")
 
 
-class TestMedianResult:
-    def test_median(self):
-        assert median_result(lambda s: float(s), [5, 1, 3]) == 3.0
+class TestCellSupport:
+    def test_celled_experiments_expose_full_protocol(self):
+        for exp_id in EXPERIMENTS:
+            if supports_cells(exp_id):
+                mod = module(exp_id)
+                assert callable(mod.cells)
+                assert callable(mod.run_cell)
+                assert callable(mod.assemble)
 
-    def test_empty_raises(self):
-        with pytest.raises(ValueError):
-            median_result(lambda s: 0.0, [])
+    def test_table1_and_trace_are_not_celled(self):
+        assert not supports_cells("table1")
+        assert not supports_cells("fig08d")
+
+    def test_most_figures_are_celled(self):
+        celled = {e for e in EXPERIMENTS if supports_cells(e)}
+        assert {"fig05", "fig07", "fig08", "fig09", "fig10",
+                "fig12", "fig13", "fig14", "ablation-mem"} <= celled
 
 
 class TestTable1:

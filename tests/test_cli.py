@@ -60,3 +60,102 @@ class TestRun:
     def test_unknown_workload_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "--workload", "sort9000"])
+
+
+class TestStoreFlag:
+    def _shuffle_store(self, monkeypatch, capsys, workload, store):
+        """Run the CLI and report the shuffle_store the engine was given."""
+        import repro.cli as cli
+        seen = {}
+        real_run_job = cli.run_job
+
+        def spy(spec, **kwargs):
+            seen["store"] = spec.shuffle_store
+            return real_run_job(spec, **kwargs)
+
+        monkeypatch.setattr(cli, "run_job", spy)
+        args = ["run", "--workload", workload, "--data-gb", "2",
+                "--nodes", "2"]
+        if store is not None:
+            args += ["--store", store]
+        assert main(args) == 0
+        capsys.readouterr()
+        return seen["store"]
+
+    @pytest.mark.parametrize("workload", ["groupby", "grep", "wordcount"])
+    def test_store_reaches_the_spec(self, monkeypatch, capsys, workload):
+        # The bug: grep/wordcount lambdas silently dropped --store.
+        assert self._shuffle_store(monkeypatch, capsys, workload,
+                                   "ssd") == "ssd"
+        assert self._shuffle_store(monkeypatch, capsys, workload,
+                                   "lustre") == "lustre"
+
+    @pytest.mark.parametrize("workload", ["groupby", "grep", "wordcount"])
+    def test_default_store_is_ramdisk(self, monkeypatch, capsys, workload):
+        assert self._shuffle_store(monkeypatch, capsys, workload,
+                                   None) == "ramdisk"
+
+    @pytest.mark.parametrize("workload", ["lr", "kmeans"])
+    def test_store_rejected_for_no_shuffle_workloads(self, workload):
+        with pytest.raises(SystemExit, match="has no effect"):
+            main(["run", "--workload", workload, "--data-gb", "2",
+                  "--nodes", "2", "--store", "ssd"])
+
+    @pytest.mark.parametrize("workload", ["lr", "kmeans"])
+    def test_no_store_still_fine_for_no_shuffle_workloads(
+            self, capsys, workload):
+        assert main(["run", "--workload", workload, "--data-gb", "2",
+                     "--nodes", "2"]) == 0
+
+
+class TestCrashFlag:
+    BASE = ["run", "--workload", "groupby", "--data-gb", "2",
+            "--nodes", "2"]
+
+    def test_crash_and_restart_runs(self, capsys):
+        assert main(self.BASE + ["--crash", "1@5:40"]) == 0
+
+    def test_empty_restart_means_never_rejoins(self, capsys):
+        # "NODE@T:" is valid: crash at T, no restart.
+        assert main(self.BASE + ["--crash", "1@5:"]) == 0
+
+    def test_malformed_spec_rejected(self):
+        with pytest.raises(SystemExit, match="expected NODE@T"):
+            main(self.BASE + ["--crash", "not-a-crash"])
+
+    def test_negative_node_rejected(self):
+        # "=" form: argparse would otherwise read "-1@5" as an option.
+        with pytest.raises(SystemExit, match="node must be >= 0"):
+            main(self.BASE + ["--crash=-1@5"])
+
+    def test_negative_crash_time_rejected(self):
+        with pytest.raises(SystemExit, match="crash time must be >= 0"):
+            main(self.BASE + ["--crash", "1@-5"])
+
+    def test_restart_before_crash_rejected(self):
+        with pytest.raises(SystemExit, match="strictly after"):
+            main(self.BASE + ["--crash", "1@10:5"])
+
+    def test_restart_equal_to_crash_rejected(self):
+        with pytest.raises(SystemExit, match="strictly after"):
+            main(self.BASE + ["--crash", "1@10:10"])
+
+
+class TestFailureRateFlag:
+    BASE = ["run", "--workload", "groupby", "--data-gb", "2",
+            "--nodes", "2"]
+
+    def test_valid_rate_runs(self, capsys):
+        assert main(self.BASE + ["--failure-rate", "0.1"]) == 0
+
+    @pytest.mark.parametrize("rate", ["-0.1", "1.5"])
+    def test_out_of_range_rejected(self, rate):
+        with pytest.raises(SystemExit, match=r"within \[0, 1\]"):
+            main(self.BASE + ["--failure-rate", rate])
+
+
+class TestExperimentsPassthrough:
+    def test_list_via_top_level_cli(self, capsys):
+        assert main(["experiments", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig05" in out and "table1" in out
