@@ -7,6 +7,13 @@ traces.  This module turns a :class:`~repro.core.metrics.JobResult` into:
   stragglers, idle slots, and phase boundaries in a terminal);
 * per-node slot-utilization series;
 * CSV/JSON exports for external plotting.
+
+With the telemetry layer (PR 5), timeline analysis additionally works
+from the *sampled* series of a structured run log
+(:func:`phase_report` / :func:`phase_utilization`): instead of
+reconstructing utilization from task endpoints, it averages the probe's
+gauge samples — scheduler occupancy, device throughput, fabric rates —
+inside each phase window, which is what ``repro report`` prints.
 """
 
 from __future__ import annotations
@@ -14,14 +21,19 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Dict, List, Optional, Sequence
+from math import isnan, nan
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.metrics import JobResult, TaskRecord
+from repro.obs.registry import parse_key
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.runlog import RunLog
 
 __all__ = ["gantt", "slot_utilization", "to_csv", "to_json",
-           "phase_boundaries"]
+           "phase_boundaries", "phase_utilization", "phase_report"]
 
 _PHASE_GLYPHS = {"compute": "c", "store": "s", "fetch": "f"}
 
@@ -124,6 +136,130 @@ def to_csv(result: JobResult) -> str:
                          t.started_at, t.finished_at, t.duration, t.wait,
                          t.bytes, t.local])
     return buf.getvalue()
+
+
+# -- run-log (sampled series) analysis -------------------------------------
+def _summed_series(log: "RunLog", metric: str) -> List[float]:
+    """Sum a metric's labeled columns per sample row (NaN-skipping;
+    NaN where no instance has a value)."""
+    cols = [col for key, col in log.columns.items()
+            if parse_key(key)[0] == metric]
+    out: List[float] = []
+    for i in range(len(log.times)):
+        total, seen = 0.0, False
+        for col in cols:
+            v = col[i]
+            if not isnan(v):
+                total += v
+                seen = True
+        out.append(total if seen else nan)
+    return out
+
+
+def _window_mean(times: List[float], values: List[float],
+                 t0: float, t1: float) -> float:
+    total, count = 0.0, 0
+    for t, v in zip(times, values):
+        if t0 <= t <= t1 and not isnan(v):
+            total += v
+            count += 1
+    return total / count if count else nan
+
+
+def _window_delta(times: List[float], values: List[float],
+                  t0: float, t1: float) -> float:
+    """Increase of a monotone counter-style series across a window."""
+    first = last = nan
+    for t, v in zip(times, values):
+        if isnan(v) or t > t1:
+            continue
+        if t < t0:
+            first = v  # last sample at or before the window opens
+        else:
+            if isnan(first):
+                first = v
+            last = v
+    if isnan(first) or isnan(last):
+        return nan
+    return last - first
+
+
+def phase_utilization(log: "RunLog") -> Dict[str, Dict[str, float]]:
+    """Per-phase utilization aggregates from a run log's sampled series.
+
+    For each phase window (from ``phase-start``/``phase-end`` events):
+    mean free scheduler slots and pending tasks, mean device queue depth,
+    device read/write and network throughput averaged over the window
+    (deltas of the monotone byte counters divided by the duration).
+    """
+    times = log.times
+    free = _summed_series(log, "sched.free_slots")
+    pending = _summed_series(log, "sched.pending_tasks")
+    qd = _summed_series(log, "device.queue_depth")
+    written = _summed_series(log, "device.bytes_written")
+    read = _summed_series(log, "device.bytes_read")
+    net = _summed_series(log, "fabric.bytes_completed")
+    tx = _summed_series(log, "fabric.tx_bytes_per_s")
+    out: Dict[str, Dict[str, float]] = {}
+    for phase, (t0, t1) in sorted(log.phase_windows().items(),
+                                  key=lambda kv: kv[1][0]):
+        dur = max(t1 - t0, 1e-12)
+        out[phase] = {
+            "start": t0,
+            "end": t1,
+            "duration": t1 - t0,
+            "free_slots": _window_mean(times, free, t0, t1),
+            "pending_tasks": _window_mean(times, pending, t0, t1),
+            "device_queue_depth": _window_mean(times, qd, t0, t1),
+            "device_write_bytes_per_s": _window_delta(times, written,
+                                                      t0, t1) / dur,
+            "device_read_bytes_per_s": _window_delta(times, read,
+                                                     t0, t1) / dur,
+            "net_bytes_per_s": _window_delta(times, net, t0, t1) / dur,
+            "net_tx_rate_mean": _window_mean(times, tx, t0, t1),
+        }
+    return out
+
+
+def phase_report(log: "RunLog") -> str:
+    """The ``repro report`` text summary of one structured run log."""
+    MB = 1024.0 ** 2
+    meta = log.meta
+    head = (f"run: {meta.get('job_name', meta.get('workload', '?'))} "
+            f"({meta.get('nodes', '?')} nodes, seed {meta.get('seed', '?')})"
+            f" — {meta.get('job_time_s', 0.0):.2f}s, "
+            f"{len(log.events)} events, {len(log.times)} samples")
+    lines = [head]
+    util = phase_utilization(log)
+    if not util:
+        lines.append("(no phase windows — was the run traced?)")
+        return "\n".join(lines)
+
+    def fmt(v: float, scale: float = 1.0) -> str:
+        return "-" if isnan(v) else f"{v / scale:8.1f}"
+
+    lines.append(f"{'phase':<10} {'window':<19} {'free':>8} {'pend':>8} "
+                 f"{'dev-qd':>8} {'wr MB/s':>8} {'rd MB/s':>8} "
+                 f"{'net MB/s':>8}")
+    for phase, u in util.items():
+        window = f"{u['start']:7.2f}s–{u['end']:7.2f}s"
+        lines.append(
+            f"{phase:<10} {window:<19} {fmt(u['free_slots'])} "
+            f"{fmt(u['pending_tasks'])} {fmt(u['device_queue_depth'])} "
+            f"{fmt(u['device_write_bytes_per_s'], MB)} "
+            f"{fmt(u['device_read_bytes_per_s'], MB)} "
+            f"{fmt(u['net_bytes_per_s'], MB)}")
+    summary = log.summary
+    if summary:
+        counters = summary.get("counters", {})
+        launches = sum(v for k, v in counters.items()
+                       if parse_key(k)[0] == "sched.launches")
+        failures = sum(v for k, v in counters.items()
+                       if parse_key(k)[0] == "sched.attempt_failures")
+        lines.append(f"totals: {launches:.0f} task launches, "
+                     f"{failures:.0f} attempt failures, "
+                     f"{len(log.events_of('flow-start'))} traced flows")
+    return "\n".join(lines)
 
 
 def to_json(result: JobResult) -> str:

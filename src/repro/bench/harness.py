@@ -18,7 +18,9 @@ accumulate across commits (see DESIGN.md §8 for how to read it):
                      "fingerprint_sha256": "..."},
       "reference":  {... same shape ...} ,
       "speedup_events_per_s": 3.4,
-      "check": {"ran": true, "passed": true}
+      "check": {"ran": true, "passed": true},
+      "telemetry": {"wall_s": ..., "events_per_s": ...,
+                    "overhead_pct": 2.1, "fingerprint_matches": true}
     }
 
 ``reference``/``speedup_events_per_s`` are ``null`` unless a baseline
@@ -26,6 +28,13 @@ was measured; ``check.passed`` asserts the two engine modes produced
 **byte-identical** simulation results (same completion times, same
 bytes completed), which is what makes the optimization provably
 behavior-preserving rather than merely plausible.
+
+``telemetry`` (schema 2) times the optimized engine a second time with
+a full observation bundle attached — gauges wired, run-log sink
+installed, probe sampling — so the tracked perf trajectory also records
+what observation *costs* (``overhead_pct``, vs the bare optimized wall)
+and re-asserts per commit that it costs nothing in *behavior*
+(``fingerprint_matches``).
 """
 
 from __future__ import annotations
@@ -45,7 +54,7 @@ from repro.sim import perfmode
 
 __all__ = ["BenchReport", "bench_scenario", "run_bench", "main"]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -83,12 +92,21 @@ class BenchReport:
     reference: Optional[TimedRun] = None
     check_ran: bool = False
     check_passed: Optional[bool] = None
+    telemetry: Optional[TimedRun] = None
+    telemetry_matches: Optional[bool] = None
 
     @property
     def speedup(self) -> Optional[float]:
         if self.reference is None or self.reference.events_per_s == 0:
             return None
         return self.optimized.events_per_s / self.reference.events_per_s
+
+    @property
+    def telemetry_overhead_pct(self) -> Optional[float]:
+        if self.telemetry is None or self.optimized.wall_s <= 0:
+            return None
+        return (self.telemetry.wall_s - self.optimized.wall_s) \
+            / self.optimized.wall_s * 100.0
 
     def to_json(self) -> Dict[str, Any]:
         speedup = self.speedup
@@ -103,6 +121,12 @@ class BenchReport:
             "speedup_events_per_s": (round(speedup, 3)
                                      if speedup is not None else None),
             "check": {"ran": self.check_ran, "passed": self.check_passed},
+            "telemetry": (None if self.telemetry is None else {
+                "wall_s": round(self.telemetry.wall_s, 6),
+                "events_per_s": round(self.telemetry.events_per_s, 1),
+                "overhead_pct": round(self.telemetry_overhead_pct, 2),
+                "fingerprint_matches": self.telemetry_matches,
+            }),
         }
 
 
@@ -125,9 +149,34 @@ def _timed(name: str, quick: bool, reference: bool) -> TimedRun:
     return TimedRun("reference" if reference else "optimized", wall, result)
 
 
+def _timed_telemetry(name: str, quick: bool,
+                     probe_period: float = 0.25):
+    """Time the optimized engine with a full telemetry bundle attached.
+
+    Returns ``(TimedRun, Telemetry)`` — the bundle is handed back so the
+    CLI can optionally export the captured trace/run log.  Gauge wiring
+    and the bundle's construction happen inside the window on purpose:
+    that setup is part of what observation costs.
+    """
+    from repro.obs.telemetry import Telemetry
+    gc.collect()
+    start = time.perf_counter()
+    telemetry = Telemetry(probe_period=probe_period)
+    result = run_scenario(name, quick=quick, telemetry=telemetry)
+    wall = time.perf_counter() - start
+    return TimedRun("telemetry", wall, result), telemetry
+
+
 def bench_scenario(name: str, quick: bool = False, baseline: bool = False,
-                   check: bool = False) -> BenchReport:
-    """Benchmark one scenario; optionally measure and verify the baseline."""
+                   check: bool = False, telemetry: bool = True,
+                   capture_dir: Optional[str] = None) -> BenchReport:
+    """Benchmark one scenario; optionally measure and verify the baseline.
+
+    Unless disabled, a third timed run measures telemetry overhead and
+    asserts the instrumented fingerprint matches the bare one.  With
+    ``capture_dir``, that run's Chrome trace and run log are written to
+    ``TRACE_<name>.json`` / ``LOG_<name>.jsonl`` there.
+    """
     optimized = _timed(name, quick, reference=False)
     report = BenchReport(name=name, quick=quick, optimized=optimized)
     if baseline or check:
@@ -137,6 +186,19 @@ def bench_scenario(name: str, quick: bool = False, baseline: bool = False,
             report.check_passed = (
                 optimized.result.fingerprint
                 == report.reference.result.fingerprint)
+    if telemetry:
+        report.telemetry, bundle = _timed_telemetry(name, quick)
+        report.telemetry_matches = (
+            optimized.result.fingerprint
+            == report.telemetry.result.fingerprint)
+        if capture_dir is not None:
+            from repro.obs.export import write_chrome_trace, write_runlog
+            os.makedirs(capture_dir, exist_ok=True)
+            bundle.meta.setdefault("job_name", f"bench:{name}")
+            write_chrome_trace(
+                os.path.join(capture_dir, f"TRACE_{name}.json"), bundle)
+            write_runlog(
+                os.path.join(capture_dir, f"LOG_{name}.jsonl"), bundle)
     return report
 
 
@@ -151,7 +213,9 @@ def write_report(report: BenchReport, out_dir: str) -> str:
 
 def run_bench(scenarios: Optional[List[str]] = None, quick: bool = False,
               baseline: bool = False, check: bool = False,
-              out_dir: str = ".", jobs: int = 1) -> List[BenchReport]:
+              out_dir: str = ".", jobs: int = 1,
+              telemetry: bool = True,
+              capture_dir: Optional[str] = None) -> List[BenchReport]:
     """Run the selected scenarios and write one ``BENCH_*.json`` each.
 
     ``jobs > 1`` fans scenarios out across a process pool (the same
@@ -162,7 +226,8 @@ def run_bench(scenarios: Optional[List[str]] = None, quick: bool = False,
     """
     names = scenarios if scenarios else list(SCENARIOS)
     worker = functools.partial(bench_scenario, quick=quick,
-                               baseline=baseline, check=check)
+                               baseline=baseline, check=check,
+                               telemetry=telemetry, capture_dir=capture_dir)
     reports_out = map_parallel(worker, names, jobs=jobs)
     reports = []
     for name, report in zip(names, reports_out):
@@ -175,6 +240,10 @@ def run_bench(scenarios: Optional[List[str]] = None, quick: bool = False,
                      f" | speedup {report.speedup:.2f}x")
         if report.check_ran:
             line += f" | check {'OK' if report.check_passed else 'FAILED'}"
+        if report.telemetry is not None:
+            match = "OK" if report.telemetry_matches else "DIVERGED"
+            line += (f" | telemetry {report.telemetry_overhead_pct:+.1f}% "
+                     f"({match})")
         print(line)
         print(f"  wrote {path}")
         reports.append(report)
@@ -189,10 +258,18 @@ def main(args) -> int:
         return 2
     reports = run_bench(scenarios=args.scenario or None, quick=args.quick,
                         baseline=args.baseline, check=args.check,
-                        out_dir=args.out_dir, jobs=jobs)
+                        out_dir=args.out_dir, jobs=jobs,
+                        telemetry=not getattr(args, "no_telemetry", False),
+                        capture_dir=getattr(args, "capture_dir", None))
     if args.check and not all(r.check_passed for r in reports):
         failed = [r.name for r in reports if not r.check_passed]
         print(f"CHECK FAILED: optimized and reference engines diverged "
               f"on: {', '.join(failed)}")
+        return 1
+    bad = [r.name for r in reports
+           if r.telemetry is not None and not r.telemetry_matches]
+    if bad:
+        print(f"TELEMETRY CHECK FAILED: instrumented runs diverged "
+              f"on: {', '.join(bad)}")
         return 1
     return 0

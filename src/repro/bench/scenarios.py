@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.spec import hyperion
@@ -27,6 +27,8 @@ from repro.cluster.variability import LognormalSpeed
 from repro.core.engine import EngineOptions, run_job
 from repro.core.faults import FaultPlan
 from repro.net import Fabric
+from repro.obs import wiring as obs_wiring
+from repro.obs.telemetry import Telemetry
 from repro.sim import FluidPipe, Simulator
 from repro.workloads import groupby_spec
 
@@ -50,7 +52,8 @@ class ScenarioResult:
     metrics: Dict[str, float] = field(default_factory=dict)
 
 
-def _shuffle_wave(quick: bool) -> ScenarioResult:
+def _shuffle_wave(quick: bool,
+                  telemetry: Optional[Telemetry] = None) -> ScenarioResult:
     """Full-scale reduce-side shuffle wave on the fabric.
 
     Every node runs a reducer fetching one partition slice from every
@@ -63,6 +66,9 @@ def _shuffle_wave(quick: bool) -> ScenarioResult:
     window = 2 if quick else 4
     sim = Simulator()
     fab = Fabric(sim, n_nodes=n_nodes, nic_bw=4 * GB, latency=20e-6)
+    if telemetry is not None:
+        obs_wiring.register_fabric(telemetry.registry, fab)
+        telemetry.bind(sim)
     completions: List[Tuple[Tuple[int, int], float]] = []
 
     def issue(reducer: int, pending: List[int]) -> None:
@@ -97,7 +103,8 @@ def _shuffle_wave(quick: bool) -> ScenarioResult:
                  "bytes_completed": fab.bytes_completed})
 
 
-def _ssd_spill(quick: bool) -> ScenarioResult:
+def _ssd_spill(quick: bool,
+               telemetry: Optional[Telemetry] = None) -> ScenarioResult:
     """SSD-spill storm through a concurrency-degraded FluidPipe.
 
     Many writers push chained spill blocks through one pipe whose
@@ -110,6 +117,9 @@ def _ssd_spill(quick: bool) -> ScenarioResult:
     sim = Simulator()
     pipe = FluidPipe(sim, capacity=0.0, name="spill",
                      capacity_fn=lambda n: 387 * MB / (1.0 + 0.02 * n))
+    if telemetry is not None:
+        obs_wiring.register_pipe(telemetry.registry, pipe)
+        telemetry.bind(sim)
     completions: List[Tuple[Tuple[int, int], float]] = []
 
     def chain(writer: int, k: int) -> None:
@@ -135,7 +145,8 @@ def _ssd_spill(quick: bool) -> ScenarioResult:
                  "bytes_completed": pipe.bytes_completed})
 
 
-def _fig08_job(quick: bool) -> ScenarioResult:
+def _fig08_job(quick: bool,
+               telemetry: Optional[Telemetry] = None) -> ScenarioResult:
     """End-to-end Fig-8-style GroupBy with intermediate data on SSD."""
     n_nodes = 4 if quick else 8
     data = (4 if quick else 24) * GB
@@ -144,7 +155,8 @@ def _fig08_job(quick: bool) -> ScenarioResult:
     cluster = Cluster(hyperion(n_nodes),
                       speed_model=LognormalSpeed(sigma=0.18),
                       seed=options.seed)
-    result = run_job(spec, options=options, cluster=cluster)
+    result = run_job(spec, options=options, cluster=cluster,
+                     telemetry=telemetry)
     tasks = tuple(sorted(
         (t.phase, t.task_id, t.node, t.started_at, t.finished_at)
         for t in result.all_tasks()))
@@ -160,7 +172,8 @@ def _fig08_job(quick: bool) -> ScenarioResult:
                  "n_tasks": float(len(tasks))})
 
 
-def _node_crash(quick: bool) -> ScenarioResult:
+def _node_crash(quick: bool,
+                telemetry: Optional[Telemetry] = None) -> ScenarioResult:
     """Mid-store node crash, lineage recovery, restart (DESIGN.md §9).
 
     A node dies while its pinned ShuffleMapTasks are writing: its
@@ -178,7 +191,8 @@ def _node_crash(quick: bool) -> ScenarioResult:
     spec = groupby_spec(data, shuffle_store="ssd")
     options = EngineOptions(seed=11, fault_plan=plan)
     cluster = Cluster(hyperion(n_nodes), seed=options.seed)
-    result = run_job(spec, options=options, cluster=cluster)
+    result = run_job(spec, options=options, cluster=cluster,
+                     telemetry=telemetry)
     rec = result.recovery
     tasks = tuple(sorted(
         (t.phase, t.task_id, t.node, t.started_at, t.finished_at)
@@ -200,7 +214,8 @@ def _node_crash(quick: bool) -> ScenarioResult:
                  "recovery_time_s": rec.recovery_time})
 
 
-def _timer_churn(quick: bool) -> ScenarioResult:
+def _timer_churn(quick: bool,
+                 telemetry: Optional[Telemetry] = None) -> ScenarioResult:
     """Pure event-loop churn: chained lightweight timers.
 
     Measures the per-dispatch cost of ``schedule_callback`` — the single
@@ -209,6 +224,10 @@ def _timer_churn(quick: bool) -> ScenarioResult:
     chains = 200 if quick else 1000
     depth = 100 if quick else 400
     sim = Simulator()
+    if telemetry is not None:
+        telemetry.registry.gauge("sim.queue_depth",
+                                 lambda: float(len(sim._queue)))
+        telemetry.bind(sim)
     ticks: List[float] = []
 
     def tick(chain: int, k: int) -> None:
@@ -237,11 +256,21 @@ SCENARIOS: Dict[str, Callable[[bool], ScenarioResult]] = {
 }
 
 
-def run_scenario(name: str, quick: bool = False) -> ScenarioResult:
-    """Execute one named scenario in the currently active engine mode."""
+def run_scenario(name: str, quick: bool = False,
+                 telemetry: Optional[Telemetry] = None) -> ScenarioResult:
+    """Execute one named scenario in the currently active engine mode.
+
+    With a ``telemetry`` bundle attached, the scenario's simulator is
+    instrumented (gauges + run-log sink + probe) — the harness uses this
+    to measure instrumentation overhead and assert the fingerprint is
+    unchanged by observation.
+    """
     try:
         fn = SCENARIOS[name]
     except KeyError:
         raise ValueError(
             f"unknown scenario {name!r}; have {sorted(SCENARIOS)}") from None
-    return fn(quick)
+    result = fn(quick, telemetry)
+    if telemetry is not None:
+        telemetry.finish()
+    return result

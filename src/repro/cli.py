@@ -7,6 +7,9 @@ Subcommands::
         [--store ramdisk|ssd|lustre] [--elb] [--cad] [--delay-scheduling]
         [--speculation] [--failure-rate P] [--crash NODE@T[:RESTART_T]]...
         [--seed S] [--gantt] [--csv FILE] [--json FILE]
+        [--trace-out TRACE.json] [--metrics-out RUNLOG.jsonl]
+        [--probe-period S]
+    python -m repro report RUNLOG.jsonl  (per-phase utilization summary)
     python -m repro bench [--quick] [--check] [--baseline]
         [--scenario NAME]... [--out-dir DIR]
     python -m repro experiments ...      (alias of repro.experiments CLI)
@@ -91,6 +94,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                      help="write the task trace as CSV")
     run.add_argument("--json", metavar="FILE",
                      help="write full job metrics as JSON")
+    run.add_argument("--trace-out", metavar="FILE",
+                     help="write a Chrome trace-event JSON (load in "
+                          "Perfetto / chrome://tracing)")
+    run.add_argument("--metrics-out", metavar="FILE",
+                     help="write the JSONL structured run log "
+                          "(events + sampled metric series)")
+    run.add_argument("--probe-period", type=float, default=0.25,
+                     help="gauge sampling period in sim seconds "
+                          "(default: 0.25)")
+
+    report = sub.add_parser(
+        "report", help="summarize a run log written by --metrics-out")
+    report.add_argument("runlog", metavar="RUNLOG.jsonl")
 
     bench = sub.add_parser(
         "bench", help="run the tracked perf benchmarks (BENCH_*.json)")
@@ -112,6 +128,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                        help="run scenarios in parallel worker processes; "
                             "results stay identical but wall-clock "
                             "timings share the machine (default: 1)")
+    bench.add_argument("--no-telemetry", action="store_true",
+                       help="skip the instrumented third run (telemetry "
+                            "overhead + fingerprint-match columns)")
+    bench.add_argument("--capture-dir", default=None, metavar="DIR",
+                       help="also export each scenario's instrumented run "
+                            "as TRACE_<name>.json + LOG_<name>.jsonl here")
 
     sub.add_parser("experiments",
                    help="regenerate paper tables/figures "
@@ -130,6 +152,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "bench":
         from repro.bench import main as bench_main
         return bench_main(args)
+    if args.command == "report":
+        return _report(args)
     return _run(args)
 
 
@@ -206,9 +230,17 @@ def _run(args) -> int:
         delay_scheduling=args.delay_scheduling, elb=args.elb, cad=args.cad,
         speculation=args.speculation, task_failure_rate=args.failure_rate,
         seed=args.seed, fault_plan=_parse_crashes(args.crash))
+    telemetry = None
+    if args.trace_out or args.metrics_out:
+        from repro.obs.telemetry import Telemetry
+        if args.probe_period <= 0:
+            raise SystemExit(
+                f"--probe-period must be positive, got {args.probe_period}")
+        telemetry = Telemetry(probe_period=args.probe_period)
     result = run_job(spec, cluster_spec=hyperion(args.nodes),
                      options=options,
-                     speed_model=LognormalSpeed(sigma=args.speed_sigma))
+                     speed_model=LognormalSpeed(sigma=args.speed_sigma),
+                     telemetry=telemetry)
     print(result.summary())
     if args.gantt:
         print()
@@ -221,6 +253,25 @@ def _run(args) -> int:
         with open(args.json, "w") as fh:
             fh.write(to_json(result))
         print(f"wrote job metrics: {args.json}")
+    if args.trace_out:
+        from repro.obs.export import write_chrome_trace
+        write_chrome_trace(args.trace_out, telemetry)
+        print(f"wrote Chrome trace: {args.trace_out} "
+              f"(open in https://ui.perfetto.dev)")
+    if args.metrics_out:
+        from repro.obs.export import write_runlog
+        write_runlog(args.metrics_out, telemetry)
+        print(f"wrote run log: {args.metrics_out} "
+              f"({len(telemetry.events)} events, "
+              f"{telemetry.probe.samples_taken} samples)")
+    return 0
+
+
+def _report(args) -> int:
+    from repro.analysis.timeline import phase_report
+    from repro.obs.runlog import load_runlog
+    log = load_runlog(args.runlog)
+    print(phase_report(log))
     return 0
 
 

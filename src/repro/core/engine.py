@@ -31,6 +31,10 @@ from repro.core.scheduler import StageRunner
 from repro.core.shuffle import FetchPlan, fetch_body
 from repro.core.speculation import SpeculativeExecution, TaskAttemptFailure
 from repro.core.task import SimTask
+from repro.obs import capture as obs_capture
+from repro.obs import wiring as obs_wiring
+from repro.obs.registry import NULL_REGISTRY
+from repro.obs.telemetry import Telemetry
 from repro.sim.events import AllOf, Event
 from repro.sim.resources import Resource
 
@@ -76,13 +80,28 @@ class SparkSim:
     """Drives one job through the simulated stack."""
 
     def __init__(self, cluster: Cluster, spec: JobSpec,
-                 options: Optional[EngineOptions] = None) -> None:
+                 options: Optional[EngineOptions] = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.cluster = cluster
         self.sim = cluster.sim
         self.spec = spec
         self.options = options if options is not None else EngineOptions()
         self.conf = self.options.conf
         self.rng = cluster.rng
+        # Telemetry is deliberately NOT part of EngineOptions: options are
+        # frozen, hashed into experiment-cache fingerprints, and pickled
+        # across workers — observation must never change run identity.
+        # With no explicit Telemetry, an ambient capture session (the
+        # experiments CLI's hook) may supply one.
+        self._capture = None
+        if telemetry is None:
+            session = obs_capture.active()
+            if session is not None:
+                telemetry = session.new_telemetry()
+                self._capture = session
+        self.telemetry = telemetry
+        self.metrics = telemetry.registry if telemetry is not None \
+            else NULL_REGISTRY
         n = cluster.n_nodes
         #: Live per-node intermediate bytes (updated as map tasks finish).
         self.node_intermediate = np.zeros(n)
@@ -126,6 +145,15 @@ class SparkSim:
             self._availability = ShuffleAvailability(self.sim)
             self._injector.add_listener(self)
         self._prepare_input()
+        if self.telemetry is not None:
+            self.telemetry.meta.setdefault("workload", spec.name)
+            self.telemetry.meta.setdefault("nodes", cluster.n_nodes)
+            self.telemetry.meta.setdefault("seed", self.options.seed)
+            self.telemetry.meta.setdefault("shuffle_store",
+                                           spec.shuffle_store)
+            obs_wiring.register_engine(self.metrics, self)
+            obs_wiring.register_cluster(self.metrics, cluster)
+            self.telemetry.bind(self.sim)
 
     # -- setup -------------------------------------------------------------------
     def _prepare_input(self) -> None:
@@ -148,6 +176,8 @@ class SparkSim:
             base = EnhancedLoadBalancer(base, self.node_intermediate,
                                         threshold=self.options.elb_threshold,
                                         liveness=self._liveness)
+            if self.metrics.enabled:
+                obs_wiring.register_elb(self.metrics, base)
         return base
 
     # -- main entry ----------------------------------------------------------------
@@ -162,34 +192,47 @@ class SparkSim:
                 min(t.queued_at for t in self._recovery_records),
                 max(t.finished_at for t in self._recovery_records),
                 list(self._recovery_records))
-        return JobResult(job_name=self.spec.name, job_time=job_time,
-                         phases=self._phases,
-                         node_intermediate=self.node_intermediate.copy(),
-                         node_task_counts=self.node_task_counts.copy(),
-                         seed=self.options.seed,
-                         failures=list(self._failure_log),
-                         recovery=self.recovery)
+        result = JobResult(job_name=self.spec.name, job_time=job_time,
+                           phases=self._phases,
+                           node_intermediate=self.node_intermediate.copy(),
+                           node_task_counts=self.node_task_counts.copy(),
+                           seed=self.options.seed,
+                           failures=list(self._failure_log),
+                           recovery=self.recovery)
+        if self.telemetry is not None:
+            self.telemetry.finish(result)
+            if self._capture is not None:
+                self._capture.finish_run(self.telemetry, result)
+        return result
 
     def _job(self):
         spec = self.spec
         compute_records: List[TaskRecord] = []
         compute_start = self.sim.now
+        if self.sim._tracing:
+            self.sim.trace("phase-start", phase="compute")
         for iteration in range(spec.iterations):
             records = yield self._run_compute_stage(iteration)
             compute_records.extend(records)
             self._finish_stage()
         self._phases["compute"] = PhaseMetrics(
             "compute", compute_start, self.sim.now, compute_records)
+        if self.sim._tracing:
+            self.sim.trace("phase-end", phase="compute")
         # Map outputs lost to crashes must be re-materialised before the
         # store stage snapshots per-node intermediates.
         yield from self._recovery_barrier()
 
         if spec.shuffle_store is not None and spec.intermediate_bytes > 0:
             store_start = self.sim.now
+            if self.sim._tracing:
+                self.sim.trace("phase-start", phase="store")
             records = yield self._run_store_stage()
             self._finish_stage()
             self._phases["store"] = PhaseMetrics(
                 "store", store_start, self.sim.now, records)
+            if self.sim._tracing:
+                self.sim.trace("phase-end", phase="store")
             # Shuffle files lost mid-store are restored before reducers
             # build their fetch plans from the store-bytes arrays.
             yield from self._recovery_barrier()
@@ -198,10 +241,14 @@ class SparkSim:
                 self._split_lustre_shuffle_files()
 
             fetch_start = self.sim.now
+            if self.sim._tracing:
+                self.sim.trace("phase-start", phase="fetch")
             records = yield self._run_fetch_stage()
             self._finish_stage()
             self._phases["fetch"] = PhaseMetrics(
                 "fetch", fetch_start, self.sim.now, records)
+            if self.sim._tracing:
+                self.sim.trace("phase-end", phase="fetch")
         return None
 
     # -- computation stage -----------------------------------------------------
@@ -247,7 +294,8 @@ class SparkSim:
                              task_overhead=self.conf.task_overhead,
                              on_complete=on_complete,
                              liveness=self._liveness,
-                             failure_log=self._failure_log)
+                             failure_log=self._failure_log,
+                             metrics=self.metrics)
         self._active_runner = runner
         return runner.run()
 
@@ -326,13 +374,16 @@ class SparkSim:
                 trigger_ratio=self.options.cad_trigger,
                 window=self.options.cad_window)
             self.cad_controller = throttler
+            if self.metrics.enabled:
+                obs_wiring.register_cad(self.metrics, throttler)
         runner = StageRunner(self.sim, n, self.cluster.spec.node.cores,
                              tasks, policy=LocalityFirstPolicy(),
                              throttler=throttler,
                              task_overhead=self.conf.task_overhead,
                              on_complete=on_complete,
                              liveness=self._liveness,
-                             failure_log=self._failure_log)
+                             failure_log=self._failure_log,
+                             metrics=self.metrics)
         self._active_runner = runner
         return runner.run()
 
@@ -390,7 +441,8 @@ class SparkSim:
                              speculation=self._speculation(),
                              task_overhead=self.conf.task_overhead,
                              liveness=self._liveness,
-                             failure_log=self._failure_log)
+                             failure_log=self._failure_log,
+                             metrics=self.metrics)
         self._active_runner = runner
         return runner.run()
 
@@ -675,7 +727,8 @@ def run_job(spec: JobSpec,
             cluster_spec: Optional[ClusterSpec] = None,
             options: Optional[EngineOptions] = None,
             speed_model: Optional[SpeedModel] = None,
-            cluster: Optional[Cluster] = None) -> JobResult:
+            cluster: Optional[Cluster] = None,
+            telemetry: Optional[Telemetry] = None) -> JobResult:
     """Convenience one-shot: build a fresh cluster, run the job.
 
     A fresh cluster per run keeps device history (SSD wear, caches) from
@@ -686,5 +739,5 @@ def run_job(spec: JobSpec,
     if cluster is None:
         cluster = Cluster(cluster_spec, speed_model=speed_model,
                           seed=options.seed)
-    engine = SparkSim(cluster, spec, options)
+    engine = SparkSim(cluster, spec, options, telemetry=telemetry)
     return engine.run()

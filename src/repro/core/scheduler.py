@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, \
     Set, Tuple
 
+from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
 from repro.sim import simtime
 from repro.sim.events import Event, Interrupt
 from repro.core.cad import CongestionAwareDispatcher
@@ -58,7 +59,8 @@ class StageRunner:
                  on_complete: Optional[Callable[[SimTask, int, TaskRecord],
                                                 None]] = None,
                  liveness: Optional["NodeLiveness"] = None,
-                 failure_log: Optional[List[FailureRecord]] = None) -> None:
+                 failure_log: Optional[List[FailureRecord]] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.sim = sim
         self.n_nodes = n_nodes
         self.policy = policy
@@ -86,6 +88,17 @@ class StageRunner:
         #: task_id -> list of (node, started_at, attempt process)
         self._attempts: Dict[int, List[Tuple[int, float, object]]] = {}
         self.done = Event(sim, name="stage-done")
+        # Instrumentation (pure recording; a disabled registry hands back
+        # no-op instruments, so there are no ``if metrics`` hot-path
+        # branches and nothing to allocate per event).
+        metrics = metrics if metrics is not None else NULL_REGISTRY
+        labels = {"phase": tasks[0].phase if tasks else "empty"}
+        self._m_launches = metrics.counter("sched.launches", labels)
+        self._m_spec = metrics.counter("sched.speculative_launches", labels)
+        self._m_completions = metrics.counter("sched.completions", labels)
+        self._m_failures = metrics.counter("sched.attempt_failures", labels)
+        self._m_requeues = metrics.counter("sched.crash_requeues", labels)
+        self._m_duration = metrics.histogram("sched.task_duration_s", labels)
         self._retry_token = 0
         self._retry_deadline: Optional[float] = None
         sim.add_diagnostic(self.diagnostic_snapshot)
@@ -159,6 +172,7 @@ class StageRunner:
             self._lose_task(task)
             return
         self.crash_requeues += 1
+        self._m_requeues.inc()
         task.taken = False
         task.queued_at = self.sim.now
         self.queue.push(task)
@@ -313,6 +327,9 @@ class StageRunner:
     def _launch(self, task: SimTask, node: int,
                 speculative: bool = False) -> None:
         self.free_slots[node] -= 1
+        self._m_launches.inc()
+        if speculative:
+            self._m_spec.inc()
         if self.throttler is not None:
             self.throttler.on_launch(node, self.sim.now)
         if self.sim._tracing:
@@ -382,6 +399,8 @@ class StageRunner:
                             bytes=task.bytes, local=task.local)
         self.records.append(record)
         duration = finished - started
+        self._m_completions.inc()
+        self._m_duration.observe(duration)
         self.policy.on_complete(task, node, duration)
         if self.throttler is not None:
             self.throttler.on_complete(duration, node)
@@ -419,6 +438,7 @@ class StageRunner:
     def _handle_failure(self, task: SimTask, node: int) -> None:
         count = self._failures.get(task.task_id, 0) + 1
         self._failures[task.task_id] = count
+        self._m_failures.inc()
         if self.sim._tracing:
             self.sim.trace("failure", task=task.task_id, node=node,
                            count=count)

@@ -47,6 +47,16 @@ def main(argv=None) -> int:
                              f"$REPRO_CACHE_DIR or {DEFAULT_CACHE_DIR})")
     parser.add_argument("--no-progress", action="store_true",
                         help="suppress per-cell progress on stderr")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="write a Chrome trace per engine run "
+                             "(forces --jobs 1 and --no-cache; multiple "
+                             "runs get -2, -3, ... suffixes)")
+    parser.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="write a JSONL run log per engine run "
+                             "(forces --jobs 1 and --no-cache)")
+    parser.add_argument("--probe-period", type=float, default=0.25,
+                        help="telemetry gauge sampling period in sim "
+                             "seconds (default: 0.25)")
     args = parser.parse_args(argv)
 
     if args.jobs < 1:
@@ -57,26 +67,56 @@ def main(argv=None) -> int:
             print(name)
         return 0
 
-    runner = SweepRunner(jobs=args.jobs, cache=not args.no_cache,
+    capturing = bool(args.trace_out or args.metrics_out)
+    jobs, cache = args.jobs, not args.no_cache
+    if capturing:
+        # Capture sessions live in this process, and a cache hit would
+        # skip the engine run entirely — nothing to observe either way.
+        if jobs != 1:
+            print("telemetry capture forces --jobs 1", file=sys.stderr)
+            jobs = 1
+        if cache:
+            print("telemetry capture forces --no-cache", file=sys.stderr)
+            cache = False
+        if args.probe_period <= 0:
+            raise SystemExit(f"--probe-period must be positive, "
+                             f"got {args.probe_period}")
+
+    runner = SweepRunner(jobs=jobs, cache=cache,
                          cache_dir=args.cache_dir,
                          progress=not args.no_progress)
 
-    if args.experiment == "validate":
-        from repro.experiments.validate import render_report, validate
-        report = validate(scale=SCALES[args.scale],
-                          seeds=tuple(args.seeds), runner=runner)
-        print(render_report(report))
-        return 0 if all(r["pass"] for r in report) else 1
+    session = None
+    if capturing:
+        from repro.obs import capture as obs_capture
+        session = obs_capture.install(obs_capture.CaptureSession(
+            trace_out=args.trace_out, metrics_out=args.metrics_out,
+            probe_period=args.probe_period))
+    try:
+        if args.experiment == "validate":
+            from repro.experiments.validate import render_report, validate
+            report = validate(scale=SCALES[args.scale],
+                              seeds=tuple(args.seeds), runner=runner)
+            print(render_report(report))
+            return 0 if all(r["pass"] for r in report) else 1
 
-    ids = sorted(EXPERIMENTS) if args.experiment == "all" \
-        else [args.experiment]
-    scale = SCALES[args.scale]
-    for exp_id in ids:
-        result = run_experiment(exp_id, scale=scale,
-                                seeds=tuple(args.seeds), runner=runner)
-        print(result.render())
-        print()
-    return 0
+        ids = sorted(EXPERIMENTS) if args.experiment == "all" \
+            else [args.experiment]
+        scale = SCALES[args.scale]
+        for exp_id in ids:
+            result = run_experiment(exp_id, scale=scale,
+                                    seeds=tuple(args.seeds), runner=runner)
+            print(result.render())
+            print()
+        return 0
+    finally:
+        if session is not None:
+            from repro.obs import capture as obs_capture
+            obs_capture.uninstall()
+            for trace_path, runlog_path in session.written:
+                for path in (trace_path, runlog_path):
+                    if path:
+                        print(f"wrote {path}", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

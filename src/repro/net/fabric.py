@@ -59,7 +59,7 @@ class NetFlow:
     """
 
     __slots__ = ("src", "dst", "size", "remaining", "rate", "cap", "done",
-                 "started_at", "tag")
+                 "started_at", "tag", "fid")
 
     def __init__(self, src: int, dst: int, size: float, cap: float,
                  done: Event, started_at: float, tag: Any) -> None:
@@ -72,6 +72,10 @@ class NetFlow:
         self.done = done
         self.started_at = started_at
         self.tag = tag
+        #: Fabric-assigned flow id, stable for the flow's lifetime —
+        #: correlates flow-start/flow-end trace events (async spans in
+        #: the Chrome-trace export).
+        self.fid = 0
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"<NetFlow {self.src}->{self.dst} "
@@ -135,6 +139,7 @@ class Fabric:
         self._rates = np.empty(0)
         self._last_advance = sim.now
         self._timer_token = 0
+        self._flow_seq = 0
         self.bytes_completed = 0.0
 
     # -- public API -----------------------------------------------------------
@@ -154,11 +159,18 @@ class Fabric:
             raise ValueError(f"negative transfer {nbytes}")
         done = Event(self.sim, name=f"net:{src}->{dst}")
         flow = NetFlow(src, dst, nbytes, cap, done, self.sim.now, tag)
+        self._flow_seq += 1
+        flow.fid = self._flow_seq
         if src == dst or nbytes <= self.small_flow_bytes:
             wire = 0.0 if src == dst else nbytes / min(self.nic_bw, cap)
             self.sim.schedule_callback(self.latency + wire,
                                        self._finish_direct, flow)
             return done
+        # Direct (loopback / tiny) transfers above are deliberately not
+        # traced: they are control-message noise at shuffle scale.
+        if self.sim._tracing:
+            self.sim.trace("flow-start", fid=flow.fid, src=src, dst=dst,
+                           nbytes=nbytes)
         self._advance()
         self.flows.append(flow)
         if perfmode.REFERENCE:
@@ -216,10 +228,14 @@ class Fabric:
         # Completion events enqueue in ascending flow order — the same
         # FIFO order the reference path produces — so same-timestamp
         # downstream scheduling stays byte-identical.
+        tracing = self.sim._tracing
         for i in indices:
             f = flows[i]
             f.remaining = 0.0
             self.bytes_completed += f.size
+            if tracing:
+                self.sim.trace("flow-end", fid=f.fid, src=f.src, dst=f.dst,
+                               nbytes=f.size)
             # Tail latency: the last byte still needs to propagate.
             schedule(latency, f.done.succeed, f)
         if finished_idx.size == len(flows):
@@ -239,10 +255,14 @@ class Fabric:
             return
         keep = ~finished_mask
         survivors: List[NetFlow] = []
+        tracing = self.sim._tracing
         for i, f in enumerate(self.flows):
             if finished_mask[i]:
                 f.remaining = 0.0
                 self.bytes_completed += f.size
+                if tracing:
+                    self.sim.trace("flow-end", fid=f.fid, src=f.src,
+                                   dst=f.dst, nbytes=f.size)
                 # Tail latency: the last byte still needs to propagate.
                 self.sim.schedule_callback(self.latency, f.done.succeed, f)
             else:

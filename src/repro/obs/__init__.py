@@ -1,0 +1,25 @@
+"""Unified telemetry: metrics registry, sim-clock probes, exporters.
+
+The observability layer (DESIGN.md §10).  A :class:`MetricsRegistry`
+holds counters/gauges/histograms registered by the engine, scheduler,
+ELB, CAD, fabric, and storage devices; a :class:`Probe` samples the
+gauges on the simulation clock via daemon timers; exporters turn one
+run's telemetry into a Perfetto-loadable Chrome trace and a JSONL
+structured run log.
+
+Non-negotiable invariant: telemetry observes, never perturbs — a run's
+result fingerprint is byte-identical with telemetry on or off
+(``tests/obs/test_telemetry_invariant.py``), and the disabled path is
+allocation-free.
+"""
+
+from repro.obs.registry import (MetricsRegistry, NULL_INSTRUMENT,
+                                NULL_REGISTRY, instrument_key, parse_key)
+from repro.obs.probe import Probe
+from repro.obs.telemetry import Telemetry
+from repro.obs.capture import CaptureSession
+
+__all__ = [
+    "MetricsRegistry", "NULL_INSTRUMENT", "NULL_REGISTRY",
+    "instrument_key", "parse_key", "Probe", "Telemetry", "CaptureSession",
+]

@@ -1,0 +1,79 @@
+"""Ambient capture sessions: telemetry without plumbing.
+
+The experiments CLI (and anything else that reaches ``run_job`` through
+layers of frozen, fingerprint-hashed configuration) cannot thread a
+``Telemetry`` object down to the engine — adding one to
+``EngineOptions`` or the sweep ``Cell`` would change cache fingerprints
+and pickling.  A :class:`CaptureSession` sidesteps that: installed as a
+module global, the engine consults it when constructed *without* an
+explicit telemetry, builds a fresh :class:`Telemetry` per run, and hands
+it back here on completion, where the trace/run-log files are written
+(numbered ``-2``, ``-3``, ... suffixes when one session sees several
+runs).
+
+Sessions are in-process only; the experiments CLI forces ``--jobs 1``
+while capturing so every run executes in this interpreter.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, List, Optional, Tuple
+
+from repro.obs.export import write_chrome_trace, write_runlog
+from repro.obs.telemetry import Telemetry
+
+__all__ = ["CaptureSession", "install", "uninstall", "active"]
+
+
+class CaptureSession:
+    """Writes telemetry files for every engine run while installed."""
+
+    def __init__(self, trace_out: Optional[str] = None,
+                 metrics_out: Optional[str] = None,
+                 probe_period: float = 0.25) -> None:
+        self.trace_out = trace_out
+        self.metrics_out = metrics_out
+        self.probe_period = probe_period
+        self.runs = 0
+        #: (trace_path | None, runlog_path | None) per finished run.
+        self.written: List[Tuple[Optional[str], Optional[str]]] = []
+
+    def new_telemetry(self) -> Telemetry:
+        return Telemetry(probe_period=self.probe_period)
+
+    def _numbered(self, path: str) -> str:
+        if self.runs <= 1:
+            return path
+        root, ext = os.path.splitext(path)
+        return f"{root}-{self.runs}{ext}"
+
+    def finish_run(self, telemetry: Telemetry, result: Any = None) -> None:
+        """Called by the engine after ``telemetry.finish(result)``."""
+        self.runs += 1
+        trace_path = runlog_path = None
+        if self.trace_out:
+            trace_path = self._numbered(self.trace_out)
+            write_chrome_trace(trace_path, telemetry)
+        if self.metrics_out:
+            runlog_path = self._numbered(self.metrics_out)
+            write_runlog(runlog_path, telemetry)
+        self.written.append((trace_path, runlog_path))
+
+
+_ACTIVE: Optional[CaptureSession] = None
+
+
+def install(session: CaptureSession) -> CaptureSession:
+    global _ACTIVE
+    _ACTIVE = session
+    return session
+
+
+def uninstall() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> Optional[CaptureSession]:
+    return _ACTIVE

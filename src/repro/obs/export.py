@@ -1,0 +1,272 @@
+"""Exporters: Chrome trace-event JSON and the JSONL structured run log.
+
+**Chrome trace** (``write_chrome_trace``) targets the trace-event JSON
+format Perfetto and ``chrome://tracing`` load:
+
+* each cluster node is a *process* (``pid`` = node id) whose *threads*
+  are greedily-packed task lanes — every task attempt (``launch`` →
+  ``complete``/``interrupt``/``failure``) becomes a ``"ph": "X"``
+  complete event with microsecond ``ts``/``dur``;
+* engine phases render as ``X`` spans and fault/recovery/loss events as
+  ``"i"`` instants on a synthetic ``engine`` process;
+* network flows (``flow-start``/``flow-end``) become ``"b"``/``"e"``
+  async spans keyed by flow id on a synthetic ``fabric`` process;
+* unlabeled gauges sampled by the probe become ``"C"`` counter tracks.
+
+**Run log** (``write_runlog``) is one JSON object per line unifying the
+trace-event stream with the sampled metric series:
+
+* ``{"type": "meta", ...}`` header (run identity, schema version);
+* ``{"type": "event", "t": ..., "kind": ..., ...payload}`` per trace
+  event, in emission order;
+* ``{"type": "sample", "t": ..., "values": {...}}`` per probe row;
+* ``{"type": "summary", "counters": ..., "gauges": ..., "histograms":
+  ...}`` footer with instrument endpoints.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.obs.telemetry import Telemetry
+
+__all__ = ["RUNLOG_SCHEMA", "chrome_trace", "write_chrome_trace",
+           "runlog_lines", "write_runlog", "INSTANT_KINDS"]
+
+RUNLOG_SCHEMA = 1
+
+#: Trace kinds exported as zero-duration instants on the engine lane.
+INSTANT_KINDS = frozenset({
+    "fault-crash", "fault-restart", "fault-executor-loss",
+    "fault-degrade", "fault-shuffle-loss", "task-lost", "throttle",
+    "failure",
+})
+
+_ATTEMPT_END = {"complete": "complete", "interrupt": "interrupt",
+                "failure": "failure"}
+
+_US = 1e6  # trace-event timestamps are microseconds
+
+
+def _ensure_parent(path: str) -> None:
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+
+
+def _lane(lanes: List[float], start: float) -> int:
+    """Greedy lane packing: first lane free at ``start``, else a new one."""
+    for i, busy_until in enumerate(lanes):
+        if busy_until <= start + 1e-12:
+            lanes[i] = start
+            return i
+    lanes.append(start)
+    return len(lanes) - 1
+
+
+def chrome_trace(telemetry: Telemetry) -> Dict[str, Any]:
+    """Build the trace-event JSON document from one run's telemetry."""
+    events = telemetry.events
+    out: List[Dict[str, Any]] = []
+    pids_seen = set()
+    end_time = events[-1].time if events else 0.0
+
+    # pid layout: 0..n-1 real nodes, then two synthetic processes.
+    max_node = -1
+    for ev in events:
+        node = ev.data.get("node")
+        if isinstance(node, int) and node > max_node:
+            max_node = node
+    engine_pid = max_node + 1
+    fabric_pid = max_node + 2
+
+    # -- task attempts -> per-node duration lanes -------------------------
+    open_attempts: Dict[tuple, List[tuple]] = {}
+    node_lanes: Dict[int, List[float]] = {}
+    phase = "?"
+    for ev in events:
+        kind = ev.kind
+        if kind == "phase-start":
+            phase = ev.data.get("phase", "?")
+        elif kind == "launch":
+            key = (ev.data["task"], ev.data["node"])
+            open_attempts.setdefault(key, []).append(
+                (ev.time, bool(ev.data.get("speculative")), phase))
+        elif kind in _ATTEMPT_END:
+            key = (ev.data.get("task"), ev.data.get("node"))
+            stack = open_attempts.get(key)
+            if not stack:
+                continue
+            started, speculative, launch_phase = stack.pop(0)
+            node = key[1]
+            lanes = node_lanes.setdefault(node, [])
+            tid = _lane(lanes, started)
+            lanes[tid] = ev.time
+            pids_seen.add(node)
+            out.append({
+                "ph": "X", "pid": node, "tid": tid,
+                "ts": started * _US, "dur": (ev.time - started) * _US,
+                "name": f"{launch_phase}#{key[0]}",
+                "cat": "task",
+                "args": {"task": key[0], "outcome": _ATTEMPT_END[kind],
+                         "speculative": speculative},
+            })
+    # Attempts left open (crash at end of run): close them at end_time.
+    for (task, node), stack in open_attempts.items():
+        for started, speculative, launch_phase in stack:
+            lanes = node_lanes.setdefault(node, [])
+            tid = _lane(lanes, started)
+            pids_seen.add(node)
+            out.append({
+                "ph": "X", "pid": node, "tid": tid,
+                "ts": started * _US, "dur": (end_time - started) * _US,
+                "name": f"{launch_phase}#{task}", "cat": "task",
+                "args": {"task": task, "outcome": "unfinished",
+                         "speculative": speculative},
+            })
+
+    # -- phases, instants, flows ------------------------------------------
+    phase_open: Dict[str, float] = {}
+    for ev in events:
+        kind = ev.kind
+        if kind == "phase-start":
+            phase_open[ev.data["phase"]] = ev.time
+        elif kind == "phase-end":
+            name = ev.data["phase"]
+            started = phase_open.pop(name, None)
+            if started is not None:
+                pids_seen.add(engine_pid)
+                out.append({
+                    "ph": "X", "pid": engine_pid, "tid": 0,
+                    "ts": started * _US, "dur": (ev.time - started) * _US,
+                    "name": name, "cat": "phase", "args": {},
+                })
+        elif kind in INSTANT_KINDS:
+            pids_seen.add(engine_pid)
+            out.append({
+                "ph": "i", "pid": engine_pid, "tid": 1,
+                "ts": ev.time * _US, "name": kind, "cat": "event",
+                "s": "g", "args": dict(ev.data),
+            })
+        elif kind == "flow-start":
+            pids_seen.add(fabric_pid)
+            out.append({
+                "ph": "b", "pid": fabric_pid, "tid": 0,
+                "ts": ev.time * _US, "id": ev.data["fid"],
+                "name": f"flow {ev.data.get('src')}->{ev.data.get('dst')}",
+                "cat": "flow", "args": dict(ev.data),
+            })
+        elif kind == "flow-end":
+            pids_seen.add(fabric_pid)
+            out.append({
+                "ph": "e", "pid": fabric_pid, "tid": 0,
+                "ts": ev.time * _US, "id": ev.data["fid"],
+                "name": f"flow {ev.data.get('src')}->{ev.data.get('dst')}",
+                "cat": "flow", "args": {},
+            })
+
+    # -- counters from unlabeled gauge series -----------------------------
+    series = telemetry.series()
+    times = series.get("time", [])
+    for key, column in series.items():
+        if key == "time" or "{" in key:
+            continue
+        pids_seen.add(engine_pid)
+        for t, v in zip(times, column):
+            if math.isnan(v):
+                continue
+            out.append({
+                "ph": "C", "pid": engine_pid, "tid": 0, "ts": t * _US,
+                "name": key, "args": {"value": v},
+            })
+
+    # -- metadata: readable process/thread names --------------------------
+    meta_events: List[Dict[str, Any]] = []
+    for pid in sorted(pids_seen):
+        if pid == engine_pid:
+            name = "engine"
+        elif pid == fabric_pid:
+            name = "fabric"
+        else:
+            name = f"node {pid}"
+        meta_events.append({"ph": "M", "pid": pid, "tid": 0, "ts": 0,
+                            "name": "process_name",
+                            "args": {"name": name}})
+    for node, lanes in sorted(node_lanes.items()):
+        for tid in range(len(lanes)):
+            meta_events.append({"ph": "M", "pid": node, "tid": tid, "ts": 0,
+                                "name": "thread_name",
+                                "args": {"name": f"slot {tid}"}})
+
+    return {
+        "traceEvents": meta_events + out,
+        "displayTimeUnit": "ms",
+        "otherData": dict(telemetry.meta),
+    }
+
+
+def write_chrome_trace(path: str, telemetry: Telemetry) -> None:
+    _ensure_parent(path)
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(telemetry), fh, default=str)
+        fh.write("\n")
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        return None if math.isnan(value) else value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)
+
+
+def runlog_lines(telemetry: Telemetry) -> Iterable[str]:
+    """The JSONL run log, one serialized line at a time.
+
+    Events and samples are emitted in one merged stream ordered by
+    timestamp (ties: events first, preserving each stream's own order),
+    so a reader scanning the log sees the run unfold chronologically.
+    """
+    header = {"type": "meta", "schema": RUNLOG_SCHEMA}
+    header.update(_jsonable(telemetry.meta))
+    yield json.dumps(header)
+
+    series = telemetry.series()
+    times = series.get("time", [])
+    sample_keys = [k for k in series if k != "time"]
+
+    events = telemetry.events
+    ei = si = 0
+    while ei < len(events) or si < len(times):
+        take_event = si >= len(times) or (
+            ei < len(events) and events[ei].time <= times[si])
+        if take_event:
+            ev = events[ei]
+            ei += 1
+            line = {"type": "event", "t": ev.time, "kind": ev.kind}
+            for k, v in ev.data.items():
+                line[k] = _jsonable(v)
+            yield json.dumps(line)
+        else:
+            values = {k: _jsonable(series[k][si]) for k in sample_keys}
+            yield json.dumps({"type": "sample", "t": times[si],
+                              "values": values})
+            si += 1
+
+    snap = telemetry.registry.snapshot()
+    yield json.dumps({"type": "summary", **_jsonable(snap)})
+
+
+def write_runlog(path: str, telemetry: Telemetry) -> None:
+    _ensure_parent(path)
+    with open(path, "w") as fh:
+        for line in runlog_lines(telemetry):
+            fh.write(line)
+            fh.write("\n")

@@ -1,0 +1,125 @@
+"""Schema validation for exported telemetry files.
+
+Checks the Chrome trace-event JSON against the fields Perfetto requires
+(``ph``/``ts``/``pid``/``tid``/``name``, plus ``dur`` on complete
+events) and the JSONL run log against the record shapes
+:mod:`repro.obs.export` emits.  Runnable as a module — the CI
+``trace-smoke`` job does exactly that::
+
+    python -m repro.obs.validate TRACE.json RUNLOG.jsonl
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, List
+
+__all__ = ["validate_chrome_trace", "validate_runlog", "main"]
+
+_KNOWN_PH = {"X", "M", "i", "b", "e", "C"}
+
+
+def validate_chrome_trace(doc: Any) -> List[str]:
+    """Return a list of problems (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"top level must be an object, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents array"]
+    if not events:
+        problems.append("traceEvents is empty")
+    n_complete = 0
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _KNOWN_PH:
+            problems.append(f"{where}: unknown ph {ph!r}")
+            continue
+        for fld in ("pid", "tid"):
+            if not isinstance(ev.get(fld), int):
+                problems.append(f"{where}: {fld} must be an int")
+        if not isinstance(ev.get("ts"), (int, float)):
+            problems.append(f"{where}: ts must be a number")
+        if not isinstance(ev.get("name"), str):
+            problems.append(f"{where}: name must be a string")
+        if ph == "X":
+            n_complete += 1
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: X event needs dur >= 0")
+        if ph in ("b", "e") and "id" not in ev:
+            problems.append(f"{where}: async event needs an id")
+        if len(problems) > 20:
+            problems.append("... (truncated)")
+            break
+    if not n_complete and not problems:
+        problems.append("no duration (ph=X) events — no task lanes?")
+    return problems
+
+
+def validate_runlog(lines: List[str]) -> List[str]:
+    """Return a list of problems (empty = valid)."""
+    problems: List[str] = []
+    if not lines:
+        return ["empty run log"]
+    types_seen = set()
+    for i, raw in enumerate(lines):
+        raw = raw.strip()
+        if not raw:
+            continue
+        where = f"line {i + 1}"
+        try:
+            rec = json.loads(raw)
+        except ValueError as exc:
+            problems.append(f"{where}: not JSON ({exc})")
+            continue
+        typ = rec.get("type")
+        types_seen.add(typ)
+        if i == 0 and typ != "meta":
+            problems.append(f"{where}: first record must be meta, got {typ!r}")
+        if typ in ("event", "sample") and \
+                not isinstance(rec.get("t"), (int, float)):
+            problems.append(f"{where}: {typ} needs numeric t")
+        if typ == "event" and not isinstance(rec.get("kind"), str):
+            problems.append(f"{where}: event needs a kind")
+        if typ == "sample" and not isinstance(rec.get("values"), dict):
+            problems.append(f"{where}: sample needs a values object")
+        if typ not in ("meta", "event", "sample", "summary"):
+            problems.append(f"{where}: unknown record type {typ!r}")
+        if len(problems) > 20:
+            problems.append("... (truncated)")
+            break
+    if "summary" not in types_seen:
+        problems.append("missing summary footer")
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print("usage: python -m repro.obs.validate FILE...", file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv:
+        if path.endswith(".jsonl"):
+            with open(path) as fh:
+                problems = validate_runlog(fh.readlines())
+        else:
+            with open(path) as fh:
+                problems = validate_chrome_trace(json.load(fh))
+        if problems:
+            failed = True
+            print(f"{path}: INVALID")
+            for p in problems:
+                print(f"  - {p}")
+        else:
+            print(f"{path}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main(sys.argv[1:]))

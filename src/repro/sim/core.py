@@ -66,9 +66,22 @@ class Simulator:
         #: attribute before packing trace arguments, so disabled tracing
         #: costs one attribute load instead of a kwargs dict per call.
         self._tracing = False
+        #: Unbounded trace consumers (the telemetry run log); every
+        #: :meth:`trace` event is handed to each sink after the ring.
+        self._trace_sinks: List[Callable[[TraceEvent], None]] = []
+        #: Ring events dropped to make room for newer ones — consumers
+        #: of :meth:`trace_events` can tell a complete history from a
+        #: truncated one.
+        self.trace_evictions = 0
+        #: Daemon (observer-only) timer entries currently queued; these
+        #: never count as pending simulation work, so a schedule holding
+        #: only daemons is "run dry" for deadlock purposes.
+        self._daemons = 0
         self._diagnostics: List[Callable[[], Dict[str, Any]]] = []
         #: Events + lightweight timers dispatched by :meth:`step` so far
         #: (the numerator of the benchmark harness's events/sec metric).
+        #: Daemon timers are excluded: observation must not inflate the
+        #: measured simulation work.
         self.events_dispatched = 0
 
     @property
@@ -86,10 +99,36 @@ class Simulator:
         self._trace = deque(maxlen=capacity)
         self._tracing = True
 
+    def add_trace_sink(self, sink: Callable[[TraceEvent], None]) -> None:
+        """Register an unbounded trace consumer (the telemetry run log).
+
+        Sinks receive every traced event; unlike the ring they never
+        drop.  A registered sink enables tracing.
+        """
+        self._trace_sinks.append(sink)
+        self._tracing = True
+
+    def remove_trace_sink(self, sink: Callable[[TraceEvent], None]) -> None:
+        """Detach a sink; tracing stays on only if the ring or another
+        sink still wants events."""
+        try:
+            self._trace_sinks.remove(sink)
+        except ValueError:
+            pass
+        self._tracing = bool(self._trace_sinks) or self._trace is not None
+
     def trace(self, kind: str, **data: Any) -> None:
         """Record one trace event; a no-op unless tracing is enabled."""
-        if self._trace is not None:
-            self._trace.append(TraceEvent(self._now, kind, data))
+        ring = self._trace
+        if ring is None and not self._trace_sinks:
+            return
+        ev = TraceEvent(self._now, kind, data)
+        if ring is not None:
+            if ring.maxlen is not None and len(ring) == ring.maxlen:
+                self.trace_evictions += 1
+            ring.append(ev)
+        for sink in self._trace_sinks:
+            sink(ev)
 
     def trace_events(self, kind: Optional[str] = None) -> List[TraceEvent]:
         """Recorded events, optionally filtered by kind."""
@@ -150,6 +189,33 @@ class Simulator:
         heapq.heappush(self._queue,
                        (self._now + delay, NORMAL, self._seq, fn, args))
 
+    def schedule_daemon(self, delay: float, fn, *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay``, as an *observer-only* timer.
+
+        Daemon timers exist for telemetry probes: they fire on the sim
+        clock but are never counted as pending simulation work, so
+
+        * ``run(until=None)`` terminates once only daemons remain (a
+          self-rearming probe cannot keep the loop alive);
+        * ``run(until=event)`` still raises :class:`SimulationDeadlock`
+          when only daemons remain (a probe cannot mask a lost wakeup);
+        * :attr:`events_dispatched` is not inflated by observation.
+
+        The contract: a daemon callback must only *read* simulation
+        state (and may re-arm itself via :meth:`schedule_daemon`); it
+        must never schedule non-daemon work or mutate simulated state.
+        ``delay`` must be strictly positive so self-rearming daemons
+        always advance the clock.  Daemons bypass
+        :mod:`~repro.sim.perfmode` — observation is not part of the
+        reference-vs-optimized engine surface.
+        """
+        if delay <= 0:
+            raise ValueError(f"daemon delay must be positive, got {delay}")
+        self._seq += 1
+        self._daemons += 1
+        heapq.heappush(self._queue,
+                       (self._now + delay, NORMAL, self._seq, fn, args, True))
+
     def schedule_callback_event(self, delay: float, fn, *args: Any) -> Event:
         """Like :meth:`schedule_callback`, but returns a waitable
         :class:`Event` that succeeds (with ``None``) when the callback
@@ -177,11 +243,11 @@ class Simulator:
     def step(self) -> None:
         """Process the next scheduled entry (an event or a bare timer).
 
-        The heap holds 4-tuples ``(when, prio, seq, event)`` for events
-        and 5-tuples ``(when, prio, seq, fn, args)`` for lightweight
-        timers; ``seq`` is unique, so heap comparisons never reach the
-        payload and both shapes order by the same (time, priority, FIFO)
-        contract.
+        The heap holds 4-tuples ``(when, prio, seq, event)`` for events,
+        5-tuples ``(when, prio, seq, fn, args)`` for lightweight timers,
+        and 6-tuples with a trailing flag for daemon timers; ``seq`` is
+        unique, so heap comparisons never reach the payload and all
+        shapes order by the same (time, priority, FIFO) contract.
         """
         try:
             entry = heapq.heappop(self._queue)
@@ -191,6 +257,12 @@ class Simulator:
         if when < self._now:  # pragma: no cover - defensive
             raise RuntimeError("event scheduled in the past")
         self._now = when
+        if len(entry) == 6:
+            # Observer-only daemon: dispatched outside the events/sec
+            # accounting so telemetry cannot perturb the benchmark.
+            self._daemons -= 1
+            entry[3](*entry[4])
+            return
         self.events_dispatched += 1
         if len(entry) == 5:
             entry[3](*entry[4])
@@ -212,19 +284,20 @@ class Simulator:
           its value (raising its exception if it failed).
         """
         if until is None:
-            try:
-                while True:
-                    self.step()
-            except EmptySchedule:
-                return None
+            # Stop once only observer daemons remain: a self-rearming
+            # probe must not keep the simulation alive forever.
+            while len(self._queue) > self._daemons:
+                self.step()
+            return None
 
         if isinstance(until, Event):
             stop = until
             while not stop.processed:
-                try:
-                    self.step()
-                except EmptySchedule:
+                if len(self._queue) <= self._daemons:
+                    # Run dry (possibly up to armed probes, which cannot
+                    # make progress happen): a genuine lost wakeup.
                     raise self._deadlock(stop) from None
+                self.step()
             if not stop.ok:
                 stop.defuse()
                 raise stop.value

@@ -6,7 +6,9 @@ runner, policies via the runner, CAD) call ``sim.trace(kind, **data)``;
 when tracing is disabled the call is a cheap no-op, when enabled the
 event lands in a bounded deque that tests can query and that the
 deadlock forensics report (:class:`~repro.sim.core.SimulationDeadlock`)
-dumps as its "last N events" tail.
+dumps as its "last N events" tail.  The telemetry layer
+(:mod:`repro.obs`) additionally registers *sinks* that receive every
+event unbounded — the structured run log is exactly this stream.
 
 Event kinds emitted by the stage runner:
 
@@ -24,23 +26,37 @@ kind               meaning / payload
 ``interrupt``      an attempt was interrupted (``task``, ``node``)
 ``failure``        an attempt failed (``task``, ``node``, ``count``)
 =================  ==========================================================
+
+The engine adds ``phase-start``/``phase-end``, the fault injector
+``fault-*``, and the fabric ``flow-start``/``flow-end`` (see
+DESIGN.md §10 for the full naming scheme).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from types import MappingProxyType
+from typing import Any, Mapping
 
 __all__ = ["TraceEvent"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=True)
 class TraceEvent:
-    """One traced occurrence: a timestamp, a kind tag, and a payload."""
+    """One traced occurrence: a timestamp, a kind tag, and a payload.
+
+    Genuinely immutable: the payload is defensively copied at
+    construction and exposed through a read-only mapping view, so a
+    consumer holding an event from the ring (or a caller reusing the
+    dict it passed in) cannot rewrite history.
+    """
 
     time: float
     kind: str
-    data: Dict[str, Any] = field(default_factory=dict)
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "data", MappingProxyType(dict(self.data)))
 
     def __str__(self) -> str:
         fields = " ".join(f"{k}={v!r}" for k, v in self.data.items())

@@ -61,6 +61,12 @@ class BlockDevice:
         return self.read_pipe.bytes_completed
 
     @property
+    def queue_depth(self) -> int:
+        """Concurrent in-flight I/Os across both channels (telemetry
+        gauge; the congestion signal CAD's §VI-B reasoning is about)."""
+        return self.read_pipe.n_active + self.write_pipe.n_active
+
+    @property
     def free_bytes(self) -> float:
         return self.capacity_bytes - self.used_bytes
 

@@ -51,6 +51,31 @@ class TestCheck:
         assert report.speedup is None
         assert not report.check_ran
 
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_telemetry_run_matches_bare_fingerprint(self, name):
+        report = bench_scenario(name, quick=True)
+        assert report.telemetry is not None
+        assert report.telemetry_matches is True
+        assert report.telemetry_overhead_pct is not None
+
+    def test_no_telemetry_skips_third_run(self):
+        report = bench_scenario("timer_churn", quick=True, telemetry=False)
+        assert report.telemetry is None
+        assert report.telemetry_matches is None
+        assert report.to_json()["telemetry"] is None
+
+    def test_capture_dir_exports_trace_and_runlog(self, tmp_path):
+        from repro.obs.validate import (validate_chrome_trace,
+                                        validate_runlog)
+        bench_scenario("fig08_job", quick=True,
+                       capture_dir=str(tmp_path))
+        trace = tmp_path / "TRACE_fig08_job.json"
+        runlog = tmp_path / "LOG_fig08_job.jsonl"
+        assert trace.exists() and runlog.exists()
+        assert validate_chrome_trace(json.loads(trace.read_text())) == []
+        assert validate_runlog(
+            runlog.read_text().splitlines()) == []
+
 
 class TestReportSchema:
     def test_json_fields(self, tmp_path):
@@ -59,7 +84,7 @@ class TestReportSchema:
         assert path.endswith("BENCH_timer_churn.json")
         with open(path) as fh:
             doc = json.load(fh)
-        assert doc["schema"] == 1
+        assert doc["schema"] == 2
         assert doc["name"] == "timer_churn"
         assert doc["quick"] is True
         for mode in ("optimized", "reference"):
@@ -72,6 +97,10 @@ class TestReportSchema:
             doc["reference"]["fingerprint_sha256"]
         assert doc["check"] == {"ran": True, "passed": True}
         assert isinstance(doc["speedup_events_per_s"], float)
+        tele = doc["telemetry"]
+        assert tele["fingerprint_matches"] is True
+        assert tele["wall_s"] >= 0
+        assert isinstance(tele["overhead_pct"], float)
 
     def test_fingerprint_digest_stable(self):
         fp = [("a", 1.0), ("b", 2.0)]

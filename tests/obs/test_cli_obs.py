@@ -1,0 +1,86 @@
+"""End-to-end CLI flow: run --trace-out/--metrics-out → validate → report.
+
+Mirrors CI's trace-smoke job but at test-suite scale, so a breakage in
+the exporter surface shows up here before it shows up in CI artifacts.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.validate import main as validate_main
+
+
+def _run_traced(tmp_path, *extra):
+    trace = tmp_path / "trace.json"
+    runlog = tmp_path / "run.jsonl"
+    rc = main(["run", "--workload", "groupby", "--data-gb", "2",
+               "--nodes", "2", "--seed", "1",
+               "--trace-out", str(trace), "--metrics-out", str(runlog),
+               "--probe-period", "0.05", *extra])
+    assert rc == 0
+    return trace, runlog
+
+
+class TestRunCapture:
+    def test_run_writes_both_artifacts(self, tmp_path, capsys):
+        trace, runlog = _run_traced(tmp_path)
+        out = capsys.readouterr().out
+        assert "wrote Chrome trace" in out
+        assert "wrote run log" in out
+        assert trace.exists() and runlog.exists()
+
+    def test_artifacts_pass_the_validator_cli(self, tmp_path, capsys):
+        trace, runlog = _run_traced(tmp_path)
+        assert validate_main([str(trace), str(runlog)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("ok") >= 2
+
+    def test_validator_cli_rejects_corrupt_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"traceEvents": [{"ph": "X"}]}')
+        assert validate_main([str(bad)]) != 0
+
+    def test_report_renders_phase_table(self, tmp_path, capsys):
+        _, runlog = _run_traced(tmp_path, "--cad")
+        capsys.readouterr()
+        assert main(["report", str(runlog)]) == 0
+        out = capsys.readouterr().out
+        assert "compute" in out and "store" in out and "fetch" in out
+        assert "task launches" in out
+
+    def test_bad_probe_period_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["run", "--workload", "groupby", "--data-gb", "2",
+                  "--nodes", "2", "--trace-out",
+                  str(tmp_path / "t.json"), "--probe-period", "0"])
+
+    def test_crash_run_traces_fault_instants(self, tmp_path):
+        # Restart must land before the job ends or it never fires.
+        trace, _ = _run_traced(tmp_path, "--crash", "1@1.0:2.0")
+        doc = json.loads(trace.read_text())
+        instants = {e["name"] for e in doc["traceEvents"]
+                    if e["ph"] == "i"}
+        assert "fault-crash" in instants
+        assert "fault-restart" in instants
+
+
+class TestExperimentsCapture:
+    def test_capture_forces_serial_uncached(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main as exp_main
+        trace = tmp_path / "exp.json"
+        runlog = tmp_path / "exp.jsonl"
+        rc = exp_main(["fig07", "--scale", "small",
+                       "--jobs", "4",  # should be overridden to 1
+                       "--trace-out", str(trace),
+                       "--metrics-out", str(runlog),
+                       "--no-progress"])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "forces --jobs 1" in err
+        assert "forces --no-cache" in err
+        # Multi-run sweeps get numbered artifact suffixes; the first
+        # run keeps the plain name.
+        assert list(tmp_path.glob("exp*.json"))
+        assert list(tmp_path.glob("exp*.jsonl"))

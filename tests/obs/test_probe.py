@@ -1,0 +1,140 @@
+"""Probe + daemon-timer semantics: sampling rides the sim clock without
+perturbing it.
+
+The load-bearing properties: daemons never keep ``run()`` alive or mask
+a deadlock, never count toward ``events_dispatched``, and a stopped
+probe's armed timer is inert (stale token).
+"""
+
+from math import isnan
+
+import pytest
+
+from repro.obs.probe import Probe
+from repro.obs.registry import MetricsRegistry
+from repro.sim.core import SimulationDeadlock, Simulator
+
+
+def _probe(sim, period=1.0):
+    reg = MetricsRegistry()
+    return Probe(sim, reg, period), reg
+
+
+class TestDaemonTimers:
+    def test_run_terminates_with_armed_daemon(self):
+        """A periodic daemon must not keep run(until=None) alive."""
+        sim = Simulator()
+        probe, reg = _probe(sim)
+        reg.gauge("g", lambda: sim.now)
+        probe.start()
+        sim.schedule_callback(5.0, lambda: None)
+        sim.run()  # returns — the armed daemon alone doesn't block exit
+        assert sim.now == 5.0
+
+    def test_daemons_excluded_from_events_dispatched(self):
+        sim = Simulator()
+        probe, reg = _probe(sim, period=0.5)
+        reg.gauge("g", lambda: 0.0)
+        probe.start()
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule_callback(t, lambda: None)
+        sim.run()
+        assert sim.events_dispatched == 3  # probe ticks don't count
+
+    def test_daemon_cannot_mask_deadlock(self):
+        sim = Simulator()
+        probe, reg = _probe(sim, period=0.1)
+        reg.gauge("g", lambda: 0.0)
+        probe.start()
+        ev = sim.event("never-set")
+        with pytest.raises(SimulationDeadlock):
+            sim.run(until=ev)
+
+    def test_daemon_delay_must_be_positive(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule_daemon(0.0, lambda: None)
+        with pytest.raises(ValueError):
+            sim.schedule_daemon(-1.0, lambda: None)
+
+
+class TestProbe:
+    def test_samples_on_the_period(self):
+        sim = Simulator()
+        probe, reg = _probe(sim, period=1.0)
+        reg.gauge("clock", lambda: sim.now)
+        probe.start()
+        sim.schedule_callback(3.5, lambda: None)
+        sim.run()
+        probe.stop()
+        # t=0 (start), 1, 2, 3, then the closing sample at 3.5.
+        assert list(probe.times) == [0.0, 1.0, 2.0, 3.0, 3.5]
+        assert probe.series()["clock"] == [0.0, 1.0, 2.0, 3.0, 3.5]
+
+    def test_stop_without_final_skips_closing_sample(self):
+        sim = Simulator()
+        probe, reg = _probe(sim, period=1.0)
+        reg.gauge("g", lambda: 0.0)
+        probe.start()
+        sim.schedule_callback(1.5, lambda: None)
+        sim.run()
+        probe.stop(final=False)
+        assert list(probe.times) == [0.0, 1.0]
+
+    def test_stale_token_after_stop(self):
+        """The armed daemon fires after stop() but must not sample."""
+        sim = Simulator()
+        probe, reg = _probe(sim, period=1.0)
+        reg.gauge("g", lambda: 0.0)
+        probe.start()
+        sim.schedule_callback(0.5, lambda: probe.stop(final=False))
+        sim.schedule_callback(2.5, lambda: None)
+        sim.run()
+        assert list(probe.times) == [0.0]  # only the start sample
+
+    def test_late_gauge_nan_backfilled(self):
+        sim = Simulator()
+        probe, reg = _probe(sim, period=1.0)
+        reg.gauge("early", lambda: 1.0)
+        probe.start()
+        sim.schedule_callback(
+            1.5, lambda: reg.gauge("late", lambda: 2.0))
+        sim.schedule_callback(3.0, lambda: None)
+        sim.run()
+        probe.stop(final=False)
+        series = probe.series()
+        # No tick at t=3.0: the daemon armed for 3.0 is all that's left
+        # once the final real event pops, so run() exits first.
+        assert series["time"] == [0.0, 1.0, 2.0]
+        assert series["early"] == [1.0, 1.0, 1.0]
+        assert isnan(series["late"][0]) and isnan(series["late"][1])
+        assert series["late"][2] == 2.0
+
+    def test_positive_period_required(self):
+        with pytest.raises(ValueError):
+            Probe(Simulator(), MetricsRegistry(), period=0.0)
+
+    def test_start_is_idempotent(self):
+        sim = Simulator()
+        probe, reg = _probe(sim, period=1.0)
+        reg.gauge("g", lambda: 0.0)
+        probe.start()
+        probe.start()
+        sim.schedule_callback(0.5, lambda: None)
+        sim.run()
+        assert list(probe.times) == [0.0]  # one start sample, not two
+
+
+class TestHeapOrderingUnperturbed:
+    def test_fifo_order_of_real_entries_preserved(self):
+        """Daemons consume seq numbers, but same-time real callbacks
+        still run in scheduling order."""
+        sim = Simulator()
+        probe, reg = _probe(sim, period=0.25)
+        reg.gauge("g", lambda: 0.0)
+        probe.start()
+        order = []
+        for i in range(5):
+            sim.schedule_callback(1.0, order.append, i)
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]

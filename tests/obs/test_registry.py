@@ -1,0 +1,131 @@
+"""Metrics registry: instrument semantics, key scheme, disabled no-op.
+
+The disabled path is the one every un-instrumented run takes, so it is
+held to a stricter bar than "fast": the zero-allocation test asserts
+that counter/histogram calls on NULL_INSTRUMENT allocate *nothing*.
+"""
+
+import sys
+
+import pytest
+
+from repro.obs.registry import (NULL_INSTRUMENT, NULL_REGISTRY,
+                                MetricsRegistry, instrument_key, parse_key)
+
+
+class TestKeys:
+    def test_unlabeled_key_is_the_name(self):
+        assert instrument_key("sched.launches", None) == "sched.launches"
+
+    def test_labels_sorted_into_key(self):
+        key = instrument_key("device.queue_depth",
+                             {"vol": "ssd", "node": 3})
+        assert key == "device.queue_depth{node=3,vol=ssd}"
+
+    def test_parse_round_trips(self):
+        labels = {"node": "3", "vol": "ssd"}
+        key = instrument_key("device.queue_depth", labels)
+        name, parsed = parse_key(key)
+        assert name == "device.queue_depth"
+        assert parsed == labels
+
+    def test_parse_unlabeled(self):
+        assert parse_key("cad.delay_s") == ("cad.delay_s", {})
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("sched.launches")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_same_key_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", {"node": 1})
+        b = reg.counter("x", {"node": 1})
+        assert a is b
+        a.inc()
+        assert b.value == 1.0
+
+    def test_distinct_labels_distinct_instruments(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x", {"node": 1}) is not \
+            reg.counter("x", {"node": 2})
+
+
+class TestGauge:
+    def test_reads_through_callback(self):
+        reg = MetricsRegistry()
+        box = [1.0]
+        g = reg.gauge("g", lambda: box[0])
+        assert g.read() == 1.0
+        box[0] = 7.0
+        assert g.read() == 7.0
+
+    def test_reregister_replaces_callback(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", lambda: 1.0)
+        g = reg.gauge("g", lambda: 2.0)
+        assert g.read() == 2.0
+        assert len(reg.snapshot()["gauges"]) == 1
+
+
+class TestHistogram:
+    def test_summary_quantiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        for v in range(1, 101):
+            h.observe(float(v))
+        s = h.summary()
+        assert s["count"] == 100
+        assert s["min"] == 1.0
+        assert s["max"] == 100.0
+        assert 45.0 <= s["p50"] <= 55.0
+        assert 90.0 <= s["p95"] <= 100.0
+
+    def test_empty_summary(self):
+        reg = MetricsRegistry()
+        assert reg.histogram("h").summary()["count"] == 0
+
+
+class TestDisabledPath:
+    def test_disabled_registry_returns_null_instrument(self):
+        reg = MetricsRegistry(enabled=False)
+        assert reg.counter("c") is NULL_INSTRUMENT
+        assert reg.gauge("g", lambda: 1.0) is NULL_INSTRUMENT
+        assert reg.histogram("h") is NULL_INSTRUMENT
+        assert reg.snapshot() == {"counters": {}, "gauges": {},
+                                  "histograms": {}}
+
+    def test_null_registry_is_disabled(self):
+        assert not NULL_REGISTRY.enabled
+        assert NULL_REGISTRY.counter("x") is NULL_INSTRUMENT
+
+    def test_null_instrument_is_inert(self):
+        NULL_INSTRUMENT.inc()
+        NULL_INSTRUMENT.inc(5.0)
+        NULL_INSTRUMENT.observe(1.0)
+        assert NULL_INSTRUMENT.value == 0.0
+        assert NULL_INSTRUMENT.read() == 0.0
+
+    @pytest.mark.skipif(not hasattr(sys, "getallocatedblocks"),
+                        reason="needs CPython sys.getallocatedblocks")
+    def test_disabled_hot_path_allocates_nothing(self):
+        """inc()/observe() on the null instrument must be allocation-free
+        — this is the entire cost an un-instrumented simulation pays."""
+        inc = NULL_INSTRUMENT.inc
+        observe = NULL_INSTRUMENT.observe
+        # Warm up any lazy interning, then measure a tight loop.
+        for _ in range(10):
+            inc()
+            observe(1.0)
+        before = sys.getallocatedblocks()
+        for _ in range(1000):
+            inc()
+            inc(2.0)
+            observe(3.0)
+        after = sys.getallocatedblocks()
+        # Tolerate a couple of blocks of interpreter noise, not 1000s.
+        assert after - before < 10

@@ -1,0 +1,109 @@
+"""The tentpole invariant: observation never changes the result.
+
+Every (workload × mechanism) combination is run twice — bare, and with
+a full telemetry bundle at an aggressively short probe period — and the
+runs must agree *byte for byte*: same job time, same per-task trace,
+same per-node byte placement.  This is what licenses leaving the
+instrumentation sites in the engine permanently.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.spec import GB, hyperion
+from repro.core.engine import EngineOptions, run_job
+from repro.core.faults import FaultPlan
+from repro.obs.telemetry import Telemetry
+from repro.workloads import grep_spec, groupby_spec
+
+N_NODES = 4
+
+
+def _spec(workload):
+    if workload == "groupby":
+        return groupby_spec(2 * GB)
+    return grep_spec(2 * GB, shuffle_store="ssd")
+
+
+def _options(mechanism):
+    base = dict(seed=3)
+    if mechanism == "elb":
+        base["elb"] = True
+    elif mechanism == "cad":
+        base["cad"] = True
+    elif mechanism == "faults":
+        base["fault_plan"] = FaultPlan.single_crash(
+            at=2.0, node=1, restart_at=6.0)
+        base["task_failure_rate"] = 0.02
+    return EngineOptions(**base)
+
+
+def _run(workload, mechanism, telemetry=None):
+    return run_job(_spec(workload), options=_options(mechanism),
+                   cluster_spec=hyperion(N_NODES), telemetry=telemetry)
+
+
+def _task_trace(result):
+    return sorted(
+        (t.task_id, t.phase, t.node, t.queued_at, t.started_at,
+         t.finished_at, t.bytes, t.local)
+        for t in result.all_tasks())
+
+
+@pytest.mark.parametrize("workload", ["groupby", "grep"])
+@pytest.mark.parametrize("mechanism", ["plain", "elb", "cad", "faults"])
+class TestFingerprintUnchangedByTelemetry:
+    def test_byte_identical_with_aggressive_probe(self, workload, mechanism):
+        bare = _run(workload, mechanism)
+        # Period far below task granularity: thousands of daemon ticks
+        # interleave with the run, maximising the chance of catching any
+        # heap-ordering or RNG perturbation.
+        tele = Telemetry(probe_period=0.01)
+        observed = _run(workload, mechanism, telemetry=tele)
+
+        assert observed.job_time == bare.job_time
+        assert _task_trace(observed) == _task_trace(bare)
+        assert np.array_equal(observed.node_intermediate,
+                              bare.node_intermediate)
+        assert np.array_equal(observed.node_task_counts,
+                              bare.node_task_counts)
+        for name in bare.phases:
+            assert observed.phases[name].start == bare.phases[name].start
+            assert observed.phases[name].end == bare.phases[name].end
+
+        # And the observation itself actually happened: at least one
+        # sample per period across the whole run, plus endpoints.
+        assert tele.probe.samples_taken >= int(bare.job_time / 0.01) - 1
+        assert tele.registry.counters  # scheduler counters populated
+        if mechanism != "plain" or workload == "groupby":
+            assert tele.events  # phase markers and flow events captured
+
+
+class TestTelemetryContent:
+    def test_meta_and_summary_populated(self):
+        tele = Telemetry(probe_period=0.1)
+        result = _run("groupby", "cad", telemetry=tele)
+        assert tele.meta["job_name"] == result.job_name
+        assert tele.meta["job_time_s"] == result.job_time
+        assert tele.meta["nodes"] == N_NODES
+        snap = tele.registry.snapshot()
+        launches = sum(v for k, v in snap["counters"].items()
+                       if k.startswith("sched.launches"))
+        assert launches == len(list(result.all_tasks()))
+        assert any(k.startswith("cad.delay_s")
+                   for k in snap["gauges"])
+
+    def test_rebinding_to_second_sim_rejected(self):
+        from repro.sim.core import Simulator
+        tele = Telemetry()
+        tele.bind(Simulator())
+        with pytest.raises(RuntimeError):
+            tele.bind(Simulator())
+
+    def test_engine_without_telemetry_uses_null_registry(self):
+        from repro.cluster.cluster import Cluster
+        from repro.core.engine import SparkSim
+        from repro.obs.registry import NULL_REGISTRY
+        cluster = Cluster(hyperion(N_NODES), seed=0)
+        engine = SparkSim(cluster, _spec("groupby"))
+        assert engine.metrics is NULL_REGISTRY
