@@ -214,6 +214,48 @@ def _node_crash(quick: bool,
                  "recovery_time_s": rec.recovery_time})
 
 
+def _stream_sustained(quick: bool,
+                      telemetry: Optional[Telemetry] = None
+                      ) -> ScenarioResult:
+    """Continuous two-tenant job stream on one warm cluster (serve layer).
+
+    Poisson arrivals, fair-share slot leasing with a moving executor
+    handoff, per-job cleanup between jobs — the multi-job machinery end
+    to end.  The fingerprint covers every job's arrival, first core
+    grant, and completion, so ``--check`` proves the inter-job scheduler
+    (and the warm-cluster teardown it depends on) deterministic and
+    engine-mode independent.
+    """
+    from repro.serve import StreamServer, Tenant
+    tenants = (Tenant("etl", weight=2.0, quota=1.0),
+               Tenant("adhoc", weight=1.0, quota=0.5))
+    server = StreamServer(
+        tenants,
+        arrival_rate=0.5 if quick else 0.3,
+        n_jobs=8 if quick else 24,
+        policy="fair",
+        base_gb=2.0 if quick else 6.0,
+        seed=5,
+        moving_delay=0.25,
+        cluster_spec=hyperion(4 if quick else 8),
+        speed_model=LognormalSpeed(sigma=0.18),
+        telemetry=telemetry)
+    result = server.run()
+    outcomes = tuple(sorted(
+        (o.tenant, o.index, o.workload, o.scale_gb,
+         o.arrived_at, o.first_grant_at, o.finished_at)
+        for o in result.outcomes))
+    fingerprint = (result.makespan, outcomes)
+    lats = [o.latency for o in result.outcomes]
+    return ScenarioResult(
+        events=server.last_events_dispatched,
+        sim_time=result.makespan,
+        fingerprint=fingerprint,
+        metrics={"n_jobs": float(len(result.outcomes)),
+                 "makespan_s": result.makespan,
+                 "latency_mean_s": sum(lats) / len(lats)})
+
+
 def _timer_churn(quick: bool,
                  telemetry: Optional[Telemetry] = None) -> ScenarioResult:
     """Pure event-loop churn: chained lightweight timers.
@@ -252,6 +294,7 @@ SCENARIOS: Dict[str, Callable[[bool], ScenarioResult]] = {
     "ssd_spill": _ssd_spill,
     "fig08_job": _fig08_job,
     "node_crash": _node_crash,
+    "stream_sustained": _stream_sustained,
     "timer_churn": _timer_churn,
 }
 

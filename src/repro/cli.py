@@ -9,6 +9,10 @@ Subcommands::
         [--seed S] [--gantt] [--csv FILE] [--json FILE]
         [--trace-out TRACE.json] [--metrics-out RUNLOG.jsonl]
         [--probe-period S]
+    python -m repro serve --arrival-rate R --jobs N
+        [--tenants name[:weight[:quota]],...] [--policy fifo|fair]
+        [--base-gb G] [--nodes N] [--seed S] [--handoff-delay S]
+        [--elb] [--cad] [--json FILE]
     python -m repro report RUNLOG.jsonl  (per-phase utilization summary)
     python -m repro bench [--quick] [--check] [--baseline]
         [--scenario NAME]... [--out-dir DIR]
@@ -104,6 +108,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                      help="gauge sampling period in sim seconds "
                           "(default: 0.25)")
 
+    serve = sub.add_parser(
+        "serve", help="run a continuous multi-tenant job stream on one "
+                      "warm cluster")
+    serve.add_argument("--arrival-rate", type=float, default=0.05,
+                       help="aggregate job arrivals per sim second, split "
+                            "evenly across tenants (default: 0.05)")
+    serve.add_argument("--jobs", type=int, default=20,
+                       help="total jobs to run (default: 20)")
+    serve.add_argument("--tenants", default="etl:2,adhoc:1",
+                       help="comma-separated name[:weight[:quota]] specs "
+                            "(default: etl:2,adhoc:1)")
+    serve.add_argument("--policy", choices=["fifo", "fair"], default="fifo",
+                       help="inter-job scheduler (default: fifo)")
+    serve.add_argument("--base-gb", type=float, default=8.0,
+                       help="base data scale; each job draws a multiplier "
+                            "on this (default: 8)")
+    serve.add_argument("--nodes", type=int, default=8)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--handoff-delay", type=float, default=0.5,
+                       help="executor-handoff delay in sim seconds when a "
+                            "core moves between jobs (default: 0.5)")
+    serve.add_argument("--elb", action="store_true",
+                       help="enable ELB inside every job")
+    serve.add_argument("--cad", action="store_true",
+                       help="enable CAD inside every job")
+    serve.add_argument("--json", metavar="FILE",
+                       help="write the full stream result as JSON")
+
     report = sub.add_parser(
         "report", help="summarize a run log written by --metrics-out")
     report.add_argument("runlog", metavar="RUNLOG.jsonl")
@@ -154,10 +186,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return bench_main(args)
     if args.command == "report":
         return _report(args)
+    if args.command == "serve":
+        return _serve(args)
     return _run(args)
 
 
 def _describe(args) -> int:
+    if args.nodes <= 0:
+        raise SystemExit(
+            f"--nodes must be a positive node count, got {args.nodes}")
     spec = hyperion(args.nodes)
     node = spec.node
     print(f"cluster: {spec.n_nodes} nodes "
@@ -215,6 +252,41 @@ def _parse_crashes(specs: Sequence[str]) -> Optional[FaultPlan]:
     return FaultPlan(tuple(crashes))
 
 
+def _serve(args) -> int:
+    from repro.serve import StreamServer, parse_tenants
+    if args.arrival_rate <= 0:
+        raise SystemExit(
+            f"--arrival-rate must be > 0 jobs/s, got {args.arrival_rate}")
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    if args.base_gb <= 0:
+        raise SystemExit(f"--base-gb must be > 0, got {args.base_gb}")
+    if args.nodes <= 0:
+        raise SystemExit(
+            f"--nodes must be a positive node count, got {args.nodes}")
+    if args.handoff_delay < 0:
+        raise SystemExit(
+            f"--handoff-delay must be >= 0, got {args.handoff_delay}")
+    try:
+        tenants = parse_tenants(
+            [t for t in args.tenants.split(",") if t])
+    except ValueError as exc:
+        raise SystemExit(f"bad --tenants: {exc}")
+    server = StreamServer(
+        tenants, arrival_rate=args.arrival_rate, n_jobs=args.jobs,
+        policy=args.policy, base_gb=args.base_gb, seed=args.seed,
+        moving_delay=args.handoff_delay,
+        cluster_spec=hyperion(args.nodes),
+        options=EngineOptions(elb=args.elb, cad=args.cad))
+    result = server.run()
+    print("\n".join(result.summary_lines()))
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(result.to_json())
+        print(f"wrote stream result: {args.json}")
+    return 0
+
+
 def _run(args) -> int:
     if args.store is not None and args.workload in NO_SHUFFLE_WORKLOADS:
         raise SystemExit(
@@ -225,6 +297,13 @@ def _run(args) -> int:
     if not 0.0 <= args.failure_rate <= 1.0:
         raise SystemExit(
             f"--failure-rate must be within [0, 1], got {args.failure_rate}")
+    if args.nodes <= 0:
+        raise SystemExit(
+            f"--nodes must be a positive node count, got {args.nodes}")
+    if args.data_gb <= 0:
+        raise SystemExit(
+            f"--data-gb must be a positive data size in GB, "
+            f"got {args.data_gb}")
     spec = WORKLOADS[args.workload](args.data_gb * GB, args.store)
     options = EngineOptions(
         delay_scheduling=args.delay_scheduling, elb=args.elb, cad=args.cad,

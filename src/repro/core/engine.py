@@ -81,13 +81,34 @@ class SparkSim:
 
     def __init__(self, cluster: Cluster, spec: JobSpec,
                  options: Optional[EngineOptions] = None,
-                 telemetry: Optional[Telemetry] = None) -> None:
+                 telemetry: Optional[Telemetry] = None,
+                 job_tag: str = "",
+                 lease: Optional[object] = None,
+                 injector: Optional[FaultInjector] = None) -> None:
         self.cluster = cluster
         self.sim = cluster.sim
         self.spec = spec
         self.options = options if options is not None else EngineOptions()
         self.conf = self.options.conf
         self.rng = cluster.rng
+        #: Namespace for this job's file ids on a shared cluster.  Empty
+        #: (the single-job default) keeps every historical file id — and
+        #: therefore every existing fingerprint — byte-identical.  NOT
+        #: part of EngineOptions: identity of *what* runs must not depend
+        #: on how the serve layer labels it.
+        self.job_tag = job_tag
+        #: Slot lease from the inter-job scheduler (serve layer); ``None``
+        #: means this job owns every core of the cluster.
+        self.lease = lease
+        #: Job start time on the (possibly warm) simulator clock.
+        self._t0 = self.sim.now
+        self._done: Optional[Event] = None
+        # -- per-job artifacts for warm-cluster teardown (cleanup()) --
+        #: (node, store, file_id) -> bytes allocated on that local volume.
+        self._vol_files: Dict[tuple, float] = {}
+        #: Lustre file ids written by this job (dict used as ordered set).
+        self._lustre_files: Dict[object, None] = {}
+        self._input_file = None
         # Telemetry is deliberately NOT part of EngineOptions: options are
         # frozen, hashed into experiment-cache fingerprints, and pickled
         # across workers — observation must never change run identity.
@@ -137,13 +158,24 @@ class SparkSim:
         self._awaiting_restart: Optional[Event] = None
         self._recovery_started_at = 0.0
         self._store_started = False
-        if self.options.fault_plan:
+        self._owns_injector = False
+        if injector is not None:
+            # Shared injector: one cluster-level fault schedule hitting
+            # every concurrent job (the serve layer).  The injector's
+            # liveness is shared; availability gates stay per-job.
+            self.recovery = RecoveryMetrics()
+            self._injector = injector
+            self._liveness = injector.liveness
+            self._availability = ShuffleAvailability(self.sim)
+            injector.add_listener(self)
+        elif self.options.fault_plan:
             self.recovery = RecoveryMetrics()
             self._injector = FaultInjector(self.sim, self.options.fault_plan,
                                            n, nodes=cluster.nodes)
             self._liveness = self._injector.liveness
             self._availability = ShuffleAvailability(self.sim)
             self._injector.add_listener(self)
+            self._owns_injector = True
         self._prepare_input()
         if self.telemetry is not None:
             self.telemetry.meta.setdefault("workload", spec.name)
@@ -159,12 +191,37 @@ class SparkSim:
     def _prepare_input(self) -> None:
         spec = self.spec
         if spec.input_source == "hdfs":
-            file_id = ("input", spec.name, id(self))
+            file_id = ("input", spec.name,
+                       self.job_tag if self.job_tag else id(self))
             self._blocks = self.cluster.hdfs.ingest(
                 file_id, spec.input_bytes,
                 rng=self.rng(f"hdfs-placement:{self.options.seed}"),
                 placement=spec.hdfs_placement,
                 block_size=spec.split_bytes)
+            self._input_file = file_id
+
+    # -- file-id namespace -------------------------------------------------------
+    def _shuffle_id(self, node: int):
+        """Id of ``node``'s shuffle bundle, namespaced by job tag."""
+        return ("shuffle", self.job_tag, node) if self.job_tag \
+            else ("shuffle", node)
+
+    def _shuffle_part_id(self, node: int, r: int):
+        return ("shuffle", self.job_tag, node, r) if self.job_tag \
+            else ("shuffle", node, r)
+
+    def _stage_kwargs(self) -> dict:
+        """Slot-lease plumbing for stage runners (empty when unleased)."""
+        if self.lease is None:
+            return {}
+        return {"slots": self.lease.slots,
+                "slot_listener": self.lease.slot_freed}
+
+    def _launch_stage(self, runner: StageRunner) -> Event:
+        self._active_runner = runner
+        if self.lease is not None:
+            self.lease.attach(runner)
+        return runner.run()
 
     def _policy(self) -> SchedulingPolicy:
         base: SchedulingPolicy
@@ -182,10 +239,34 @@ class SparkSim:
 
     # -- main entry ----------------------------------------------------------------
     def run(self) -> JobResult:
-        """Execute the job to completion and collect metrics."""
-        done = self.sim.process(self._job(), name=f"job:{self.spec.name}")
+        """Execute the job to completion and collect metrics.
+
+        Drives the simulator itself — the single-job entry point.  The
+        serve layer instead calls :meth:`start` (many concurrent jobs on
+        one simulator), :meth:`collect` when the job's process completes,
+        and :meth:`cleanup` to release the job's artifacts from the warm
+        cluster.
+        """
+        done = self.start()
         self.sim.run(until=done)
-        job_time = self.sim.now
+        return self.collect()
+
+    def start(self) -> Event:
+        """Spawn the job process on the shared simulator; returns its
+        completion event.  Does not drive the simulator."""
+        if self._done is not None:
+            raise RuntimeError("job already started")
+        self._done = self.sim.process(
+            self._job(), name=f"job:{self.job_tag or self.spec.name}")
+        return self._done
+
+    def collect(self) -> JobResult:
+        """Assemble the :class:`JobResult` (call once the job's process
+        has completed).  ``job_time`` is measured from the engine's
+        construction on the simulator clock, so a job admitted at t=500
+        on a warm cluster reports its own duration, not the cluster's
+        age; at t=0 this is byte-identical to the historical value."""
+        job_time = self.sim.now - self._t0
         if self._recovery_records:
             self._phases["recovery"] = PhaseMetrics(
                 "recovery",
@@ -204,6 +285,39 @@ class SparkSim:
             if self._capture is not None:
                 self._capture.finish_run(self.telemetry, result)
         return result
+
+    def cleanup(self) -> None:
+        """Release this job's artifacts from a warm (shared) cluster.
+
+        Deletes the job's shuffle files from node-local volumes (space,
+        TRIM, page-cache residency) and from Lustre (locks, sizes, client
+        caches), drops the HDFS input from the NameNode, reverts any
+        still-open storage degradations this job's own fault plan
+        injected, and detaches from a shared injector.  Without this,
+        back-to-back jobs leak: devices fill up (``DeviceFullError``),
+        SSD GC pressure compounds, recycled file ids collide with stale
+        page-cache entries (phantom hits), and metadata tables grow per
+        job forever.
+
+        Deliberately NOT called by :meth:`run`: warm-cluster wear across
+        jobs is modelled physics (see the end-to-end warm-cluster test);
+        cleanup models *deleting the finished job's files*, which the
+        serve layer does after every job.  Pure bookkeeping — no
+        simulated time passes.
+        """
+        for (node, store, fid), nbytes in self._vol_files.items():
+            self.cluster.nodes[node].volume(store).delete(nbytes, fid)
+        self._vol_files.clear()
+        for fid in self._lustre_files:
+            self.cluster.lustre.unlink(fid)
+        self._lustre_files.clear()
+        if self._input_file is not None:
+            self.cluster.hdfs.delete(self._input_file)
+            self._input_file = None
+        if self._injector is not None:
+            if self._owns_injector:
+                self._injector.restore_all()
+            self._injector.remove_listener(self)
 
     def _job(self):
         spec = self.spec
@@ -295,9 +409,9 @@ class SparkSim:
                              on_complete=on_complete,
                              liveness=self._liveness,
                              failure_log=self._failure_log,
-                             metrics=self.metrics)
-        self._active_runner = runner
-        return runner.run()
+                             metrics=self.metrics,
+                             **self._stage_kwargs())
+        return self._launch_stage(runner)
 
     def _split_size(self, i: int) -> float:
         spec = self.spec
@@ -383,9 +497,9 @@ class SparkSim:
                              on_complete=on_complete,
                              liveness=self._liveness,
                              failure_log=self._failure_log,
-                             metrics=self.metrics)
-        self._active_runner = runner
-        return runner.run()
+                             metrics=self.metrics,
+                             **self._stage_kwargs())
+        return self._launch_stage(runner)
 
     def _store_body(self, node: int, nbytes: float, noise: float):
         spec = self.spec
@@ -396,11 +510,17 @@ class SparkSim:
 
         def body(assigned: int):
             start = self.sim.now
-            file_id = ("shuffle", node)
+            file_id = self._shuffle_id(node)
             if spec.shuffle_store == "lustre":
+                self._lustre_files[file_id] = None
                 yield cluster.lustre.write(node, nbytes, file_id)
             else:
                 vol = cluster.nodes[node].volume(spec.shuffle_store)
+                # Record at issue time: allocation happens synchronously
+                # in write(), even for attempts later interrupted.
+                key = (node, spec.shuffle_store, file_id)
+                self._vol_files[key] = \
+                    self._vol_files.get(key, 0.0) + nbytes
                 yield vol.write(nbytes, file_id)
             if noise > 1.0:
                 # Service-time straggle (partitioning, small-write skew)
@@ -414,8 +534,14 @@ class SparkSim:
         for node in range(self.cluster.n_nodes):
             if self.node_store_bytes[node] <= 0:
                 continue
-            parts = [("shuffle", node, r) for r in range(n_reducers)]
-            self.cluster.lustre.split_file(("shuffle", node), parts)
+            bundle = self._shuffle_id(node)
+            parts = [self._shuffle_part_id(node, r)
+                     for r in range(n_reducers)]
+            self.cluster.lustre.split_file(bundle, parts)
+            if bundle in self._lustre_files:
+                del self._lustre_files[bundle]
+                for p in parts:
+                    self._lustre_files[p] = None
 
     # -- fetching stage ------------------------------------------------------------
     def _run_fetch_stage(self):
@@ -428,7 +554,8 @@ class SparkSim:
                          n_reducers=n_reducers,
                          availability=self._availability,
                          source_bytes=self.source_store_bytes
-                         if self._availability is not None else None)
+                         if self._availability is not None else None,
+                         file_tag=self.job_tag)
         total_per_reducer = float(self.node_store_bytes.sum()) / n_reducers
         tasks = [SimTask(task_id=r, phase="fetch",
                          body=self._with_failures(
@@ -442,9 +569,9 @@ class SparkSim:
                              task_overhead=self.conf.task_overhead,
                              liveness=self._liveness,
                              failure_log=self._failure_log,
-                             metrics=self.metrics)
-        self._active_runner = runner
-        return runner.run()
+                             metrics=self.metrics,
+                             **self._stage_kwargs())
+        return self._launch_stage(runner)
 
     # -- fault handling & lineage recovery -----------------------------------------
     #
@@ -460,6 +587,8 @@ class SparkSim:
 
     def _finish_stage(self) -> None:
         runner, self._active_runner = self._active_runner, None
+        if runner is not None and self.lease is not None:
+            self.lease.detach(runner)
         if runner is None or self.recovery is None:
             return
         self.recovery.crash_requeues += runner.crash_requeues
@@ -641,11 +770,15 @@ class SparkSim:
                 rec.bytes_recomputed += inter
             if self._store_started and spec.shuffle_store is not None \
                     and inter > 0:
-                file_id = ("shuffle", host)
+                file_id = self._shuffle_id(host)
                 if spec.shuffle_store == "lustre":
+                    self._lustre_files[file_id] = None
                     yield self.cluster.lustre.write(host, inter, file_id)
                 else:
                     vol = self.cluster.nodes[host].volume(spec.shuffle_store)
+                    key = (host, spec.shuffle_store, file_id)
+                    self._vol_files[key] = \
+                        self._vol_files.get(key, 0.0) + inter
                     yield vol.write(inter, file_id)
                 if not self._liveness.alive(host):
                     return
@@ -718,7 +851,10 @@ class SparkSim:
     def _noise_factors(self, stream: str, count: int,
                        sigma: float) -> np.ndarray:
         if sigma <= 0 or count == 0:
-            return np.ones(max(count, 1))
+            # Length must equal ``count`` exactly: a zero-task stage used
+            # to get a spurious length-1 array, and any caller zipping
+            # factors against its task list would mis-pair them.
+            return np.ones(count)
         gen = self.rng(f"{stream}:{self.options.seed}")
         return gen.lognormal(mean=0.0, sigma=sigma, size=count)
 
@@ -728,16 +864,36 @@ def run_job(spec: JobSpec,
             options: Optional[EngineOptions] = None,
             speed_model: Optional[SpeedModel] = None,
             cluster: Optional[Cluster] = None,
-            telemetry: Optional[Telemetry] = None) -> JobResult:
+            telemetry: Optional[Telemetry] = None,
+            cleanup: bool = False) -> JobResult:
     """Convenience one-shot: build a fresh cluster, run the job.
 
     A fresh cluster per run keeps device history (SSD wear, caches) from
     leaking between experiments; pass ``cluster`` explicitly to model
-    consecutive jobs on a warm system.
+    consecutive jobs on a warm system.  ``cluster`` is mutually exclusive
+    with ``cluster_spec``/``speed_model``: an existing cluster already
+    fixed both, and silently ignoring the others would run the job on a
+    different machine than the caller asked for.
+
+    ``cleanup=True`` deletes the job's files (shuffle output, staged
+    input) after it finishes — the warm-but-tidy mode the serve layer
+    uses between jobs.  Device wear survives cleanup by design.
     """
+    if cluster is not None:
+        if cluster_spec is not None:
+            raise ValueError(
+                "run_job: pass either cluster= or cluster_spec=, not both "
+                "(an existing cluster already fixes its spec)")
+        if speed_model is not None:
+            raise ValueError(
+                "run_job: speed_model is ignored when cluster= is given; "
+                "build the cluster with the speed model instead")
     options = options if options is not None else EngineOptions()
     if cluster is None:
         cluster = Cluster(cluster_spec, speed_model=speed_model,
                           seed=options.seed)
     engine = SparkSim(cluster, spec, options, telemetry=telemetry)
-    return engine.run()
+    result = engine.run()
+    if cleanup:
+        engine.cleanup()
+    return result

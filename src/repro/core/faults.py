@@ -302,6 +302,16 @@ class FaultInjector:
     def add_listener(self, listener: object) -> None:
         self._listeners.append(listener)
 
+    def remove_listener(self, listener: object) -> None:
+        """Detach a listener (no-op if absent).  On a shared injector —
+        one fault schedule over many concurrent jobs — each engine must
+        deregister when its job completes, or dead engines would keep
+        receiving (and double-counting) fault notifications."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
     def _notify(self, method: str, *args) -> None:
         for listener in list(self._listeners):
             fn = getattr(listener, method, None)
@@ -382,3 +392,13 @@ class FaultInjector:
                 pipe.poke()
             else:
                 pipe.set_capacity(saved)
+
+    def restore_all(self) -> None:
+        """Revert every still-open storage degradation.
+
+        End-of-job teardown on a warm cluster: an open-ended degradation
+        (``until=None``) belongs to the run that injected it and must not
+        leak slowed-down device pipes into the next job.
+        """
+        for token in list(self._degraded):
+            self._revert_degradation(token)

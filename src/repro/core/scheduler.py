@@ -60,7 +60,10 @@ class StageRunner:
                                                 None]] = None,
                  liveness: Optional["NodeLiveness"] = None,
                  failure_log: Optional[List[FailureRecord]] = None,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 slots: Optional[Sequence[int]] = None,
+                 slot_listener: Optional[Callable[[int], None]] = None
+                 ) -> None:
         self.sim = sim
         self.n_nodes = n_nodes
         self.policy = policy
@@ -80,7 +83,23 @@ class StageRunner:
         self.queue = TaskQueue(tasks)
         for t in tasks:
             t.queued_at = sim.now
-        self.free_slots = [cores_per_node] * n_nodes
+        # Slot capacity: by default every core of every node belongs to
+        # this stage (the single-job engine).  Under the multi-job serve
+        # layer the stage starts with its job's *leased* entitlement and
+        # capacity arrives/leaves mid-stage via add/remove_capacity.
+        if slots is None:
+            self.free_slots = [cores_per_node] * n_nodes
+        else:
+            if len(slots) != n_nodes:
+                raise ValueError(
+                    f"slots has {len(slots)} entries for {n_nodes} nodes")
+            self.free_slots = [int(s) for s in slots]
+        #: Called with a node id whenever a *revoked* slot physically
+        #: frees (its running task exited after remove_capacity had
+        #: already reduced the entitlement) — the serve layer's hook for
+        #: returning the core to the shared pool.
+        self.slot_listener = slot_listener
+        self._owed_slots: Dict[int, int] = {}
         self.records: List[TaskRecord] = []
         self._remaining = len(tasks)
         self._finished: Set[int] = set()
@@ -102,6 +121,10 @@ class StageRunner:
         self._retry_token = 0
         self._retry_deadline: Optional[float] = None
         sim.add_diagnostic(self.diagnostic_snapshot)
+        # Deregister at stage end (success or failure): on a long-lived
+        # simulator the diagnostic list must not grow per stage forever.
+        self.done.add_callback(
+            lambda _ev: sim.remove_diagnostic(self.diagnostic_snapshot))
         if self._remaining == 0:
             self.done.succeed(self.records)
 
@@ -111,6 +134,53 @@ class StageRunner:
         if self._remaining > 0:
             self._offer()
         return self.done
+
+    # -- dynamic capacity (slot leasing) ----------------------------------------
+    def add_capacity(self, node: int, k: int = 1) -> None:
+        """Grant ``k`` more slots on ``node`` (executor handoff arrived)."""
+        if k <= 0:
+            return
+        owed = self._owed_slots.get(node, 0)
+        if owed > 0:
+            # New capacity first pays down revocation debt: a granted
+            # core and an owed core cancel out without waiting for the
+            # running task to exit.
+            pay = min(owed, k)
+            self._owed_slots[node] = owed - pay
+            k -= pay
+            if self.slot_listener is not None:
+                for _ in range(pay):
+                    self.slot_listener(node)
+        if k > 0:
+            self.free_slots[node] += k
+            if not self.done.triggered:
+                self._offer()
+
+    def remove_capacity(self, node: int, k: int = 1) -> int:
+        """Revoke up to ``k`` slots on ``node``.
+
+        Idle slots are reclaimed immediately (the return value); the
+        remainder is *owed* — each running task that exits on ``node``
+        repays one owed slot (reported through ``slot_listener``) instead
+        of re-entering this stage's free pool.
+        """
+        if k <= 0:
+            return 0
+        reclaimed = min(self.free_slots[node], k)
+        self.free_slots[node] -= reclaimed
+        if k > reclaimed:
+            self._owed_slots[node] = \
+                self._owed_slots.get(node, 0) + (k - reclaimed)
+        return reclaimed
+
+    def _release_slot(self, node: int) -> None:
+        """A task exited on ``node``: repay revocation debt first."""
+        if self._owed_slots.get(node, 0) > 0:
+            self._owed_slots[node] -= 1
+            if self.slot_listener is not None:
+                self.slot_listener(node)
+        else:
+            self.free_slots[node] += 1
 
     # -- liveness ---------------------------------------------------------------
     def _alive(self, node: int) -> bool:
@@ -360,7 +430,7 @@ class StageRunner:
         except TaskAttemptFailure:
             failed = True
         finally:
-            self.free_slots[node] += 1
+            self._release_slot(node)
             self._forget_attempt(task.task_id, node, started)
 
         if interrupted:
@@ -478,6 +548,9 @@ class StageRunner:
         if self.liveness is not None:
             snap["dead_nodes"] = self.liveness.dead_nodes()
             snap["tasks_lost"] = [t.task_id for t in self.tasks_lost]
+        if any(self._owed_slots.values()):
+            snap["owed_slots"] = {n: k for n, k in self._owed_slots.items()
+                                  if k > 0}
         violation = self.wakeup_invariant_violation()
         if violation is not None:
             snap["invariant_violation"] = violation

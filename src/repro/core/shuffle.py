@@ -58,6 +58,20 @@ class FetchPlan:
     n_reducers: int
     availability: Optional["ShuffleAvailability"] = None
     source_bytes: Optional[np.ndarray] = None
+    #: Shuffle-file namespace: the multi-job serve layer sets a unique
+    #: per-job tag so concurrent jobs' shuffle files never collide (an
+    #: untagged single job keeps the historical ids byte-for-byte).
+    file_tag: str = ""
+
+    def bundle_id(self, phys: int):
+        """File id of ``phys``'s shuffle bundle."""
+        return ("shuffle", self.file_tag, phys) if self.file_tag \
+            else ("shuffle", phys)
+
+    def part_id(self, phys: int, reducer: int):
+        """File id of one reducer's slice of ``phys``'s output."""
+        return ("shuffle", self.file_tag, phys, reducer) if self.file_tag \
+            else ("shuffle", phys, reducer)
 
     def slice_bytes(self, src: int) -> float:
         """Bytes of one reducer's partition on ``src`` (hash partitioning
@@ -127,7 +141,7 @@ def _fetch_one(plan: FetchPlan, src: int, dst: int, reducer: int,
                 yield gate
             phys = plan.availability.physical(src)
         mode = spec.fetch_mode
-        bundle = ("shuffle", phys)
+        bundle = plan.bundle_id(phys)
         bundle_total = float(plan.node_store_bytes[phys])
         if mode == "network":
             read_ev = cluster.nodes[phys].volume(spec.shuffle_store).read(
@@ -152,6 +166,6 @@ def _fetch_one(plan: FetchPlan, src: int, dst: int, reducer: int,
         elif mode == "lustre-shared":
             # Direct Lustre read: MDS op + lock revocation + OSS traffic.
             yield cluster.lustre.read(dst, nbytes,
-                                      ("shuffle", phys, reducer))
+                                      plan.part_id(phys, reducer))
         else:  # pragma: no cover - JobSpec validates
             raise ValueError(f"unknown fetch mode {mode!r}")

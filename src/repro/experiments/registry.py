@@ -24,6 +24,7 @@ from repro.experiments import (
     fig12_load_imbalance,
     fig13_elb,
     fig14_cad,
+    stream_load,
     table1_config,
 )
 
@@ -42,6 +43,7 @@ MODULES: Dict[str, ModuleType] = {
     "fig14": fig14_cad,
     # Extras beyond the paper's figures:
     "ablation-mem": ablation_memory_resident,
+    "stream-load": stream_load,
 }
 
 EXPERIMENTS: Dict[str, Callable] = {
@@ -57,6 +59,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "fig14": fig14_cad.run,
     # Extras beyond the paper's figures:
     "ablation-mem": ablation_memory_resident.run,
+    "stream-load": stream_load.run,
 }
 
 

@@ -67,6 +67,22 @@ class HDFSFileSystem:
     def blocks_of(self, file_id: Hashable) -> List[BlockInfo]:
         return self.namenode.blocks_of(file_id)
 
+    def delete(self, file_id: Hashable,
+               account_space: bool = False) -> None:
+        """Drop a file from the namespace (mirror of :meth:`ingest`).
+
+        Pass ``account_space=True`` iff the file was ingested with it, to
+        credit the DataNode volumes back.  A long-lived cluster must
+        delete finished jobs' inputs or the NameNode file table grows
+        without bound (and recycled file ids would collide).
+        """
+        blocks = self.namenode.delete_file(file_id)
+        if account_space:
+            for b in blocks:
+                for loc in b.locations:
+                    self.nodes[loc].volume(self.volume_name).device.release(
+                        b.size)
+
     # -- reads -------------------------------------------------------------------
     def read_block(self, reader_node: int, block: BlockInfo) -> Event:
         """Read one block at ``reader_node``, local replica preferred."""

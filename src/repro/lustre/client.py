@@ -44,6 +44,10 @@ class LustreClient:
         self.clean_total = 0.0
         self._in_flight: Dict[Hashable, Event] = {}
         self._in_flight_bytes: Dict[Hashable, float] = {}
+        #: Files unlinked while their flush was in flight: the flush
+        #: completes (the OSS write is already issued) but the pages must
+        #: not re-enter the clean cache afterwards.
+        self._dropped: set = set()
         self._wb_active = False
         # Statistics.
         self.bytes_written = 0.0
@@ -85,6 +89,14 @@ class LustreClient:
             else:
                 self.clean[fid] = nbytes - overflow
                 self.clean_total -= overflow
+
+    def drop_file(self, file_id: Hashable) -> None:
+        """Forget a deleted file's cached pages (dirty pages are dropped
+        without a flush: the file no longer exists)."""
+        self.dirty_total -= self.dirty.pop(file_id, 0.0)
+        self.clean_total -= self.clean.pop(file_id, 0.0)
+        if file_id in self._in_flight_bytes:
+            self._dropped.add(file_id)
 
     def split_file(self, file_id: Hashable, parts: list) -> None:
         """Redistribute a bundled file's cached bytes over named subfiles.
@@ -199,7 +211,10 @@ class LustreClient:
             self._in_flight_bytes[file_id] = nbytes
             yield self.oss.write(nbytes)
             self.dirty_total -= nbytes
-            self._add_clean(file_id, nbytes)
+            if file_id in self._dropped:
+                self._dropped.discard(file_id)
+            else:
+                self._add_clean(file_id, nbytes)
             del self._in_flight[file_id]
             del self._in_flight_bytes[file_id]
             ev.succeed()

@@ -128,6 +128,19 @@ class LustreFileSystem:
         return self.clients[node_id].read_local(nbytes, file_id,
                                                 of_total=of_total)
 
+    def unlink(self, file_id: Hashable) -> None:
+        """Delete a file: drop its lock, size entry and cached pages.
+
+        Metadata-only from the simulation's point of view (no timed MDS
+        op — deletes happen between jobs, off the measured path), but
+        essential on a long-lived cluster: the lock and size tables, and
+        every client's cache, would otherwise grow per job forever.
+        """
+        self.locks.pop(file_id, None)
+        self.sizes.pop(file_id, None)
+        for client in self.clients:
+            client.drop_file(file_id)
+
     def split_file(self, file_id: Hashable, parts: list) -> None:
         """Re-key one file into equally sized subfiles (same lock holder)."""
         holder = self.locks.pop(file_id, None)

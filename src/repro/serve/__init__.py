@@ -1,0 +1,27 @@
+"""Multi-job streaming service: a long-lived cluster under continuous load.
+
+Everything below this package runs *one* job well; ``serve`` asks the
+paper's follow-up question — do the single-job findings (ELB, CAD,
+storage placement) survive on a cluster that is never idle?  A seeded
+Poisson process generates job arrivals for multiple tenants, an
+inter-job scheduler (FIFO or weighted fair share with quotas) leases
+cluster cores to concurrent jobs, and every job runs through the
+unmodified :class:`~repro.core.engine.SparkSim` on one warm
+:class:`~repro.cluster.cluster.Cluster`.
+"""
+
+from repro.serve.arrivals import Arrival, poisson_schedule
+from repro.serve.jobgen import JobMix
+from repro.serve.lease import SlotLease, SlotPool
+from repro.serve.policy import FairSharePolicy, FifoPolicy, make_policy
+from repro.serve.stream import JobOutcome, StreamResult, StreamServer
+from repro.serve.tenancy import Tenant, parse_tenants
+
+__all__ = [
+    "Arrival", "poisson_schedule",
+    "JobMix",
+    "SlotLease", "SlotPool",
+    "FairSharePolicy", "FifoPolicy", "make_policy",
+    "JobOutcome", "StreamResult", "StreamServer",
+    "Tenant", "parse_tenants",
+]

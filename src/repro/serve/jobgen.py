@@ -1,0 +1,86 @@
+"""Job-sequence generator: a TPC-H-flavoured mix of the repo's workloads.
+
+The catalogue mirrors a decision-support cluster's steady-state traffic:
+mostly selective scans and aggregations (TPC-H Q1/Q6 flavour), a steady
+diet of shuffle-heavy joins (Q18 flavour), and a background of iterative
+analytics (model refreshes).  Each tenant draws its own sequence from a
+stream keyed ``(seed, tenant)``, so the *k*-th job of a tenant is a
+fixed function of ``(seed, tenant, k)`` — independent of other tenants,
+of the arrival rate, and of how many jobs the run requests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.jobspec import JobSpec
+from repro.sim.rng import RandomStreams
+from repro.workloads.grep import grep_spec
+from repro.workloads.groupby import groupby_spec
+from repro.workloads.kmeans import kmeans_spec
+from repro.workloads.logreg import logistic_regression_spec
+from repro.workloads.wordcount import wordcount_spec
+
+__all__ = ["JobMix", "CATALOG"]
+
+GB = 1024.0 ** 3
+
+#: (label, weight, factory(scale_bytes)) — weights sum to 1.0.
+CATALOG: List[tuple] = [
+    ("scan", 0.30, lambda b: grep_spec(b)),
+    ("agg", 0.20, lambda b: wordcount_spec(b)),
+    ("join", 0.25, lambda b: groupby_spec(b)),
+    ("kmeans", 0.15, lambda b: kmeans_spec(b, iterations=3)),
+    ("logreg", 0.10, lambda b: logistic_regression_spec(b, iterations=3)),
+]
+
+#: Data-scale multipliers on the base size (mostly small interactive
+#: jobs, a tail of heavy ones) — weights sum to 1.0.
+SCALES: List[Tuple[float, float]] = [
+    (0.25, 0.35), (0.5, 0.30), (1.0, 0.25), (2.0, 0.10)]
+
+
+class JobMix:
+    """Deterministic, index-addressable job sequences per tenant."""
+
+    def __init__(self, seed: int, base_gb: float) -> None:
+        if base_gb <= 0:
+            raise ValueError(f"base_gb must be > 0, got {base_gb}")
+        self.seed = seed
+        self.base_gb = float(base_gb)
+        self._streams = RandomStreams(seed)
+        #: tenant -> list of already-drawn (label, scale_gb) choices.
+        self._drawn: Dict[str, List[Tuple[str, float]]] = {}
+
+    def _choices(self, tenant: str, index: int) -> Tuple[str, float]:
+        """The ``index``-th draw of ``tenant``'s stream (extends the
+        cached sequence as needed; draws are strictly sequential so any
+        prefix is stable)."""
+        seq = self._drawn.setdefault(tenant, [])
+        gen = self._streams(f"serve-jobgen:{tenant}")
+        while len(seq) <= index:
+            u = float(gen.random())
+            acc = 0.0
+            label = CATALOG[-1][0]
+            for name, w, _fn in CATALOG:
+                acc += w
+                if u < acc:
+                    label = name
+                    break
+            v = float(gen.random())
+            acc = 0.0
+            mult = SCALES[-1][0]
+            for m, w in SCALES:
+                acc += w
+                if v < acc:
+                    mult = m
+                    break
+            seq.append((label, self.base_gb * mult))
+        return seq[index]
+
+    def job_for(self, tenant: str, index: int) -> Tuple[str, float, JobSpec]:
+        """Return ``(workload label, scale in GB, JobSpec)`` for the
+        ``index``-th job of ``tenant``."""
+        label, scale_gb = self._choices(tenant, index)
+        factory = next(fn for name, _w, fn in CATALOG if name == label)
+        return label, scale_gb, factory(scale_gb * GB)

@@ -1,0 +1,117 @@
+"""Inter-job scheduling policies: who holds how many cores right now.
+
+A policy maps the set of active leases to an integral per-lease core
+target; the :class:`~repro.serve.lease.SlotPool` moves actual cores
+toward those targets.  Both policies are strictly deterministic: every
+tie breaks on admission order (FIFO) or tenant/lease order (fair share),
+never on dict iteration or randomness.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from repro.serve.tenancy import Tenant
+
+if False:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.serve.lease import SlotLease
+
+__all__ = ["InterJobPolicy", "FifoPolicy", "FairSharePolicy", "make_policy"]
+
+
+class InterJobPolicy:
+    """Interface: per-lease core targets given the active lease set."""
+
+    name = "base"
+
+    def targets(self, leases: Sequence["SlotLease"],
+                total: int) -> Dict[int, int]:
+        raise NotImplementedError
+
+
+class FifoPolicy(InterJobPolicy):
+    """Head-of-line first: leases are served whole in admission order.
+
+    Each lease gets ``min(demand, whatever is left)``; a big job at the
+    head runs alone while later arrivals queue with zero cores — the
+    classic FIFO cluster, and the baseline the fair-share comparison
+    needs."""
+
+    name = "fifo"
+
+    def targets(self, leases: Sequence["SlotLease"],
+                total: int) -> Dict[int, int]:
+        out: Dict[int, int] = {}
+        remaining = total
+        for lease in leases:
+            grant = min(lease.demand, remaining)
+            out[lease.lease_id] = grant
+            remaining -= grant
+        return out
+
+
+class FairSharePolicy(InterJobPolicy):
+    """Weighted fair share across tenants, equal split within a tenant.
+
+    Cores are water-filled one at a time to the tenant with the lowest
+    ``share / weight`` (ties: tenant order of first admission), capped by
+    the tenant's quota and by its jobs' aggregate demand; a tenant's
+    share then water-fills equally across its own active jobs in
+    admission order, capped per job by demand.  Undistributable cores
+    (everyone capped) stay free."""
+
+    name = "fair"
+
+    def __init__(self, tenants: Sequence[Tenant]) -> None:
+        self._tenants = {t.name: t for t in tenants}
+
+    def targets(self, leases: Sequence["SlotLease"],
+                total: int) -> Dict[int, int]:
+        groups: Dict[str, List["SlotLease"]] = {}
+        order: List[str] = []
+        for lease in leases:
+            if lease.tenant not in groups:
+                groups[lease.tenant] = []
+                order.append(lease.tenant)
+            groups[lease.tenant].append(lease)
+        caps = {}
+        for name in order:
+            tenant = self._tenants[name]
+            quota_cores = int(math.floor(tenant.quota * total + 1e-9))
+            caps[name] = min(sum(l.demand for l in groups[name]), quota_cores)
+        share = {name: 0 for name in order}
+        remaining = total
+        while remaining > 0:
+            eligible = [n for n in order if share[n] < caps[n]]
+            if not eligible:
+                break
+            pick = min(eligible,
+                       key=lambda n: (share[n] / self._tenants[n].weight,
+                                      order.index(n)))
+            share[pick] += 1
+            remaining -= 1
+        out: Dict[int, int] = {}
+        for name in order:
+            group = groups[name]
+            alloc = [0] * len(group)
+            budget = share[name]
+            while budget > 0:
+                open_idx = [i for i, l in enumerate(group)
+                            if alloc[i] < l.demand]
+                if not open_idx:
+                    break
+                i = min(open_idx, key=lambda i: (alloc[i], i))
+                alloc[i] += 1
+                budget -= 1
+            for lease, a in zip(group, alloc):
+                out[lease.lease_id] = a
+        return out
+
+
+def make_policy(name: str, tenants: Sequence[Tenant]) -> InterJobPolicy:
+    if name == "fifo":
+        return FifoPolicy()
+    if name == "fair":
+        return FairSharePolicy(tenants)
+    raise ValueError(f"unknown policy {name!r} (expected 'fifo' or 'fair')")

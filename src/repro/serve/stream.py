@@ -1,0 +1,288 @@
+"""The stream server: a continuous job stream on one warm cluster.
+
+Orchestration, not simulation: arrivals are scheduled as simulator
+callbacks, each admitted job is an ordinary
+:class:`~repro.core.engine.SparkSim` started concurrently on the shared
+simulator under a :class:`~repro.serve.lease.SlotLease`, and completion
+callbacks collect metrics, delete the job's files
+(:meth:`SparkSim.cleanup` — the warm cluster keeps its *wear*, not the
+dead job's data), and release the lease.  One ``sim.run`` drives the
+whole stream.
+
+Determinism: the arrival schedule, job mix, and per-job engine seeds are
+all pure functions of ``(seed, tenant, index)``; per-job seeds keep
+every job's noise streams private, so under FIFO each job's result
+depends only on the jobs admitted before it (running with more ``jobs``
+extends the stream without rewriting its prefix).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.spec import ClusterSpec
+from repro.core.engine import EngineOptions, SparkSim
+from repro.core.faults import FaultInjector, FaultPlan
+from repro.obs.registry import MetricsRegistry
+from repro.serve.arrivals import Arrival, poisson_schedule
+from repro.serve.jobgen import JobMix
+from repro.serve.lease import SlotPool
+from repro.serve.policy import make_policy
+from repro.serve.tenancy import Tenant
+from repro.sim.events import Event
+
+__all__ = ["JobOutcome", "StreamResult", "StreamServer"]
+
+#: Per-tenant seed spacing: tenant ordinal t, job index k map to engine
+#: seed ``base + (t+1)*_SEED_STRIDE + k`` — unique per job (private
+#: noise/placement RNG streams) as long as a tenant submits fewer than
+#: _SEED_STRIDE jobs, which a simulation run always does.
+_SEED_STRIDE = 1_000_000
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """One finished job of the stream."""
+
+    tenant: str
+    index: int          #: per-tenant job index
+    workload: str
+    scale_gb: float
+    seed: int
+    arrived_at: float
+    first_grant_at: float
+    finished_at: float
+
+    @property
+    def latency(self) -> float:
+        """Sojourn time: arrival to completion (queueing included)."""
+        return self.finished_at - self.arrived_at
+
+    @property
+    def service(self) -> float:
+        """First core granted to completion."""
+        return self.finished_at - self.first_grant_at
+
+    @property
+    def slowdown(self) -> float:
+        """Latency over service time (1.0 = never waited)."""
+        return self.latency / self.service if self.service > 0 else 1.0
+
+
+@dataclass
+class StreamResult:
+    """Everything a sustained-load run produced."""
+
+    policy: str
+    seed: int
+    arrival_rate: float
+    n_jobs: int
+    makespan: float
+    outcomes: List[JobOutcome]
+    #: tenant -> {"latency": [...], "slowdown": [...]} pulled from the
+    #: MetricsRegistry histograms (the telemetry source of truth).
+    tenant_values: Dict[str, Dict[str, List[float]]] = field(
+        default_factory=dict)
+
+    def tenants(self) -> List[str]:
+        return sorted({o.tenant for o in self.outcomes})
+
+    def tenant_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-tenant latency/slowdown distribution summary (from the
+        telemetry histograms, not recomputed from outcomes)."""
+        stats: Dict[str, Dict[str, float]] = {}
+        for tenant in sorted(self.tenant_values):
+            vals = self.tenant_values[tenant]
+            lat = np.asarray(vals["latency"], dtype=float)
+            sd = np.asarray(vals["slowdown"], dtype=float)
+            stats[tenant] = {
+                "jobs": float(len(lat)),
+                "latency_mean": float(lat.mean()),
+                "latency_p50": float(np.quantile(lat, 0.50)),
+                "latency_p90": float(np.quantile(lat, 0.90)),
+                "latency_p99": float(np.quantile(lat, 0.99)),
+                "slowdown_mean": float(sd.mean()),
+                "slowdown_p90": float(np.quantile(sd, 0.90)),
+            }
+        return stats
+
+    def summary_lines(self) -> List[str]:
+        """Deterministic per-tenant summary (CI byte-compares reruns)."""
+        lines = [f"policy={self.policy} seed={self.seed} "
+                 f"rate={self.arrival_rate:.6f} jobs={self.n_jobs} "
+                 f"makespan={self.makespan:.6f}"]
+        for tenant, st in sorted(self.tenant_stats().items()):
+            lines.append(
+                f"tenant={tenant} jobs={int(st['jobs'])} "
+                f"latency_mean={st['latency_mean']:.6f} "
+                f"latency_p50={st['latency_p50']:.6f} "
+                f"latency_p90={st['latency_p90']:.6f} "
+                f"latency_p99={st['latency_p99']:.6f} "
+                f"slowdown_mean={st['slowdown_mean']:.6f} "
+                f"slowdown_p90={st['slowdown_p90']:.6f}")
+        for o in sorted(self.outcomes, key=lambda o: (o.tenant, o.index)):
+            lines.append(
+                f"job tenant={o.tenant} index={o.index} "
+                f"workload={o.workload} scale_gb={o.scale_gb:.3f} "
+                f"arrived={o.arrived_at:.6f} latency={o.latency:.6f} "
+                f"slowdown={o.slowdown:.6f}")
+        return lines
+
+    def to_json(self) -> str:
+        payload = {
+            "policy": self.policy, "seed": self.seed,
+            "arrival_rate": self.arrival_rate, "n_jobs": self.n_jobs,
+            "makespan": self.makespan,
+            "tenant_stats": self.tenant_stats(),
+            "outcomes": [asdict(o) for o in
+                         sorted(self.outcomes,
+                                key=lambda o: (o.tenant, o.index))],
+        }
+        return json.dumps(payload, sort_keys=True, indent=2)
+
+
+class StreamServer:
+    """Runs ``n_jobs`` arrivals across ``tenants`` on one warm cluster."""
+
+    def __init__(self, tenants: Sequence[Tenant],
+                 arrival_rate: float, n_jobs: int,
+                 policy: str = "fifo",
+                 base_gb: float = 8.0,
+                 seed: int = 0,
+                 moving_delay: float = 0.5,
+                 cluster_spec: Optional[ClusterSpec] = None,
+                 speed_model=None,
+                 options: Optional[EngineOptions] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 telemetry=None) -> None:
+        if n_jobs < 1:
+            raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+        self.tenants = list(tenants)
+        self.arrival_rate = float(arrival_rate)
+        self.n_jobs = int(n_jobs)
+        self.policy_name = policy
+        self.base_gb = float(base_gb)
+        self.seed = int(seed)
+        self.moving_delay = float(moving_delay)
+        self.cluster_spec = cluster_spec
+        self.speed_model = speed_model
+        #: Per-job engine options template; each job gets its own seed.
+        self.options = options if options is not None else EngineOptions()
+        self.fault_plan = fault_plan
+        #: Optional Telemetry bundle: its registry receives the
+        #: per-tenant instruments and it is bound to the stream's
+        #: simulator (probe sampling, event sink) when the run starts.
+        self.telemetry = telemetry
+        if registry is None:
+            registry = telemetry.registry if telemetry is not None \
+                else MetricsRegistry()
+        self.registry = registry
+        #: Simulator event count of the last completed run (bench input).
+        self.last_events_dispatched = 0
+        self._ordinal = {t.name: i for i, t in enumerate(self.tenants)}
+
+    def job_seed(self, tenant: str, index: int) -> int:
+        return (self.seed + (self._ordinal[tenant] + 1) * _SEED_STRIDE
+                + index)
+
+    def _demand(self, spec, total_cores: int) -> int:
+        """Cores the job can actually use at once: its widest stage."""
+        width = spec.n_map_tasks
+        if spec.shuffle_store is not None and spec.intermediate_bytes > 0:
+            width = max(width, spec.reducers(total_cores))
+        return max(1, min(total_cores, width))
+
+    def run(self) -> StreamResult:
+        cluster = Cluster(self.cluster_spec, speed_model=self.speed_model,
+                          seed=self.seed)
+        sim = cluster.sim
+        if self.telemetry is not None:
+            self.telemetry.bind(sim)
+        policy = make_policy(self.policy_name, self.tenants)
+        pool = SlotPool(sim, cluster.n_nodes, cluster.spec.node.cores,
+                        policy, moving_delay=self.moving_delay)
+        injector = None
+        if self.fault_plan is not None:
+            injector = FaultInjector(sim, self.fault_plan, cluster.n_nodes,
+                                     nodes=cluster.nodes)
+        arrivals = poisson_schedule(self.seed, self.tenants,
+                                    self.arrival_rate, self.n_jobs)
+        mix = JobMix(self.seed, self.base_gb)
+        all_done = Event(sim, name="stream-done")
+        outcomes: List[JobOutcome] = []
+        state = {"remaining": self.n_jobs}
+        m_lat = {t.name: self.registry.histogram(
+            "serve.latency_s", {"tenant": t.name}) for t in self.tenants}
+        m_sd = {t.name: self.registry.histogram(
+            "serve.slowdown", {"tenant": t.name}) for t in self.tenants}
+        m_jobs = {t.name: self.registry.counter(
+            "serve.jobs_completed", {"tenant": t.name})
+            for t in self.tenants}
+
+        def finish(ev: Event, engine: SparkSim, lease, arrival: Arrival,
+                   workload: str, scale_gb: float) -> None:
+            if not ev.ok:
+                pool.release(lease)
+                if not all_done.triggered:
+                    all_done.fail(ev.value)
+                return
+            engine.collect()
+            engine.cleanup()
+            pool.release(lease)
+            pool.assert_consistent()
+            first = lease.first_grant_at if lease.first_grant_at is not None \
+                else arrival.at
+            outcome = JobOutcome(
+                tenant=arrival.tenant, index=arrival.tenant_index,
+                workload=workload, scale_gb=scale_gb,
+                seed=engine.options.seed,
+                arrived_at=arrival.at, first_grant_at=first,
+                finished_at=sim.now)
+            outcomes.append(outcome)
+            m_lat[arrival.tenant].observe(outcome.latency)
+            m_sd[arrival.tenant].observe(outcome.slowdown)
+            m_jobs[arrival.tenant].inc()
+            state["remaining"] -= 1
+            if state["remaining"] == 0 and not all_done.triggered:
+                all_done.succeed()
+
+        def admit(arrival: Arrival) -> None:
+            workload, scale_gb, spec = mix.job_for(arrival.tenant,
+                                                   arrival.tenant_index)
+            opts = self.options.with_(
+                seed=self.job_seed(arrival.tenant, arrival.tenant_index))
+            lease = pool.admit(arrival.tenant,
+                               self._demand(spec, cluster.total_cores))
+            engine = SparkSim(
+                cluster, spec, opts,
+                job_tag=f"{arrival.tenant}/{arrival.tenant_index}",
+                lease=lease, injector=injector)
+            done = engine.start()
+            # The callback owns failure propagation (via all_done); an
+            # undefused failed process would crash the simulator first.
+            done.defuse()
+            done.add_callback(
+                lambda ev: finish(ev, engine, lease, arrival,
+                                  workload, scale_gb))
+
+        for arrival in arrivals:
+            sim.schedule_callback(arrival.at, admit, arrival)
+        sim.run(until=all_done)
+        pool.assert_consistent()
+        self.last_events_dispatched = sim.events_dispatched
+
+        tenant_values = {
+            t.name: {"latency": list(m_lat[t.name].values),
+                     "slowdown": list(m_sd[t.name].values)}
+            for t in self.tenants if m_lat[t.name].values}
+        return StreamResult(
+            policy=self.policy_name, seed=self.seed,
+            arrival_rate=self.arrival_rate, n_jobs=self.n_jobs,
+            makespan=sim.now, outcomes=outcomes,
+            tenant_values=tenant_values)

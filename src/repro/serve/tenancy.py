@@ -1,0 +1,65 @@
+"""Tenants: who submits jobs, and how much of the cluster they may hold."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+__all__ = ["Tenant", "parse_tenants"]
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One job-submitting entity.
+
+    ``weight`` sets the tenant's fair-share priority; ``quota`` caps the
+    fraction of cluster cores the tenant may hold at once (1.0 = may use
+    the whole cluster when nobody else wants it).  FIFO ignores both.
+    """
+
+    name: str
+    weight: float = 1.0
+    quota: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if "/" in self.name or ":" in self.name:
+            raise ValueError(
+                f"tenant name {self.name!r} may not contain ':' or '/' "
+                "(reserved for job tags and CLI syntax)")
+        if self.weight <= 0:
+            raise ValueError(f"tenant {self.name}: weight must be > 0, "
+                             f"got {self.weight}")
+        if not 0 < self.quota <= 1:
+            raise ValueError(f"tenant {self.name}: quota must be in (0, 1], "
+                             f"got {self.quota}")
+
+
+def parse_tenants(specs: Sequence[str]) -> List[Tenant]:
+    """Parse CLI tenant specs: ``name[:weight[:quota]]``.
+
+    >>> parse_tenants(["etl:2", "adhoc:1:0.5"])
+    [Tenant(name='etl', weight=2.0, quota=1.0),
+     Tenant(name='adhoc', weight=1.0, quota=0.5)]
+    """
+    tenants: List[Tenant] = []
+    for raw in specs:
+        parts = raw.split(":")
+        if len(parts) > 3:
+            raise ValueError(f"bad tenant spec {raw!r}: "
+                             "expected name[:weight[:quota]]")
+        name = parts[0]
+        try:
+            weight = float(parts[1]) if len(parts) > 1 else 1.0
+            quota = float(parts[2]) if len(parts) > 2 else 1.0
+        except ValueError:
+            raise ValueError(f"bad tenant spec {raw!r}: "
+                             "weight and quota must be numbers") from None
+        tenants.append(Tenant(name, weight, quota))
+    names = [t.name for t in tenants]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate tenant names in {list(specs)!r}")
+    if not tenants:
+        raise ValueError("at least one tenant is required")
+    return tenants

@@ -140,6 +140,18 @@ class Simulator:
         """Register a state-snapshot callable for deadlock reports."""
         self._diagnostics.append(provider)
 
+    def remove_diagnostic(self,
+                          provider: Callable[[], Dict[str, Any]]) -> None:
+        """Deregister a diagnostic provider (no-op if absent).
+
+        Long-lived simulators (the multi-job serving cluster) would
+        otherwise accumulate one provider per completed stage forever.
+        """
+        try:
+            self._diagnostics.remove(provider)
+        except ValueError:
+            pass
+
     def _deadlock(self, waiting_for: Event) -> SimulationDeadlock:
         snapshots: List[Dict[str, Any]] = []
         for provider in self._diagnostics:

@@ -81,6 +81,12 @@ class BlockDevice:
     def release(self, nbytes: float) -> None:
         self.used_bytes = max(0.0, self.used_bytes - nbytes)
 
+    def trim(self, nbytes: float) -> None:
+        """Advise the device that ``nbytes`` of stored data were deleted
+        (fstrim/DISCARD).  Plain devices ignore it; flash devices use it
+        to return erased blocks to the clean pool so that deleting one
+        job's files actually relieves GC pressure for the next job."""
+
     # -- I/O ------------------------------------------------------------------
     def write(self, nbytes: float, account: bool = True) -> Event:
         """Write ``nbytes``; the event succeeds when the last byte lands."""

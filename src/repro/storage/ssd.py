@@ -82,6 +82,11 @@ class SSDDevice(BlockDevice):
         self.interference_slope = float(interference_slope)
         self.interference_floor = float(interference_floor)
         self.read_gc_penalty = float(read_gc_penalty)
+        #: Bytes reclaimed by TRIM/DISCARD: deleted-file blocks the GC can
+        #: erase for free.  Subtracted from cumulative writes when judging
+        #: clean-pool depletion, so a warm cluster that deletes each job's
+        #: shuffle files between jobs recovers its fast era.
+        self.trimmed_bytes = 0.0
         super().__init__(sim, read_bw=read_bw, write_bw=write_bw,
                          capacity_bytes=capacity_bytes, name=name,
                          chunk_bytes=64 * MB,
@@ -89,15 +94,27 @@ class SSDDevice(BlockDevice):
                          read_capacity_fn=self._read_capacity)
 
     # -- state ---------------------------------------------------------------
+    def trim(self, nbytes: float) -> None:
+        """Return deleted blocks to the clean pool (bounded by history)."""
+        if nbytes < 0:
+            raise ValueError(f"negative trim {nbytes}")
+        self.trimmed_bytes = min(self.trimmed_bytes + nbytes,
+                                 self.write_pipe.bytes_completed)
+
+    @property
+    def _effective_written(self) -> float:
+        """Cumulative writes net of TRIMmed (erasable) blocks."""
+        return self.write_pipe.bytes_completed - self.trimmed_bytes
+
     @property
     def gc_active(self) -> bool:
         """True once cumulative writes have exhausted the clean pool."""
-        return self.write_pipe.bytes_completed > self.clean_pool_bytes
+        return self._effective_written > self.clean_pool_bytes
 
     @property
     def gc_pressure(self) -> float:
         """Overwrite pressure: bytes written past the pool, in pool units."""
-        excess = self.write_pipe.bytes_completed - self.clean_pool_bytes
+        excess = self._effective_written - self.clean_pool_bytes
         return max(0.0, excess / self.clean_pool_bytes)
 
     def era_efficiency(self) -> float:

@@ -60,5 +60,6 @@ class LocalVolume:
 
     def delete(self, nbytes: float, file_id: Hashable) -> None:
         self.device.release(nbytes)
+        self.device.trim(nbytes)
         if self.cache is not None:
             self.cache.invalidate(file_id)

@@ -17,7 +17,8 @@ from repro.bench.scenarios import SCENARIOS, run_scenario
 class TestScenarios:
     def test_registry_has_the_macro_scenarios(self):
         assert set(SCENARIOS) == {"shuffle_wave", "ssd_spill",
-                                  "fig08_job", "node_crash", "timer_churn"}
+                                  "fig08_job", "node_crash",
+                                  "stream_sustained", "timer_churn"}
 
     @pytest.mark.parametrize("name", sorted(SCENARIOS))
     def test_quick_scenario_runs(self, name):

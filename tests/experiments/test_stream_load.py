@@ -1,0 +1,24 @@
+"""Registration/protocol tests for the sustained-load sweep (cheap:
+running a stream cell is an experiments-CLI job, not a tier-1 one)."""
+
+from repro.experiments import stream_load
+from repro.experiments.registry import EXPERIMENTS, supports_cells
+
+
+class TestStreamLoadRegistration:
+    def test_registered(self):
+        assert "stream-load" in EXPERIMENTS
+        assert supports_cells("stream-load")
+
+    def test_cells_are_deterministic_and_distinct(self):
+        a = stream_load.cells()
+        b = stream_load.cells()
+        assert a == b
+        assert len(set(a)) == len(a)
+
+    def test_cells_cover_the_rate_x_mechanism_grid(self):
+        cells = stream_load.cells()
+        rates = {c.params_dict["rate"] for c in cells}
+        mechs = {c.params_dict["mech"] for c in cells}
+        assert rates == set(stream_load.ARRIVAL_RATES)
+        assert mechs == set(stream_load.MECHANISMS)

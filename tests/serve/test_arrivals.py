@@ -1,0 +1,100 @@
+"""Tests for the seeded Poisson arrival schedule."""
+
+import pytest
+
+from repro.serve import Tenant, parse_tenants, poisson_schedule
+from repro.serve.arrivals import Arrival
+
+TWO = [Tenant("etl", 2.0), Tenant("adhoc", 1.0)]
+
+
+class TestDeterminism:
+    def test_identical_across_calls(self):
+        a = poisson_schedule(7, TWO, rate=0.5, n_jobs=20)
+        b = poisson_schedule(7, TWO, rate=0.5, n_jobs=20)
+        assert a == b
+
+    def test_seed_changes_schedule(self):
+        a = poisson_schedule(7, TWO, rate=0.5, n_jobs=20)
+        b = poisson_schedule(8, TWO, rate=0.5, n_jobs=20)
+        assert a != b
+
+    def test_per_tenant_stream_independent_of_other_tenants(self):
+        """A tenant's arrival times are keyed (seed, name): adding more
+        tenants must not perturb the existing streams."""
+        solo = poisson_schedule(3, [Tenant("etl")], rate=0.25, n_jobs=10)
+        pair = poisson_schedule(3, TWO, rate=0.5, n_jobs=30)
+        solo_times = [a.at for a in solo]
+        pair_etl_times = [a.at for a in pair if a.tenant == "etl"]
+        # Same per-tenant rate in both calls (0.25 each), so etl's times
+        # in the merged run are a prefix/superset of the solo run.
+        n = min(len(solo_times), len(pair_etl_times))
+        assert n > 0
+        assert solo_times[:n] == pytest.approx(pair_etl_times[:n])
+
+
+class TestPrefixStability:
+    def test_larger_n_jobs_extends_the_prefix(self):
+        short = poisson_schedule(11, TWO, rate=1.0, n_jobs=8)
+        long = poisson_schedule(11, TWO, rate=1.0, n_jobs=24)
+        assert long[: len(short)] == short
+
+    def test_merged_order_and_indices(self):
+        sched = poisson_schedule(5, TWO, rate=1.0, n_jobs=16)
+        assert len(sched) == 16
+        assert [a.index for a in sched] == list(range(16))
+        times = [a.at for a in sched]
+        assert times == sorted(times)
+        for t in ("etl", "adhoc"):
+            ks = [a.tenant_index for a in sched if a.tenant == t]
+            assert ks == list(range(len(ks)))  # contiguous per tenant
+
+
+class TestValidation:
+    def test_bad_rate(self):
+        with pytest.raises(ValueError, match="rate"):
+            poisson_schedule(0, TWO, rate=0.0, n_jobs=4)
+
+    def test_bad_n_jobs(self):
+        with pytest.raises(ValueError, match="n_jobs"):
+            poisson_schedule(0, TWO, rate=1.0, n_jobs=-1)
+
+    def test_no_tenants(self):
+        with pytest.raises(ValueError, match="tenant"):
+            poisson_schedule(0, [], rate=1.0, n_jobs=4)
+
+    def test_zero_jobs_is_empty(self):
+        assert poisson_schedule(0, TWO, rate=1.0, n_jobs=0) == []
+
+
+class TestTenantParsing:
+    def test_full_specs(self):
+        ts = parse_tenants(["etl:2", "adhoc:1:0.5"])
+        assert ts == [Tenant("etl", 2.0, 1.0), Tenant("adhoc", 1.0, 0.5)]
+
+    def test_defaults(self):
+        assert parse_tenants(["solo"]) == [Tenant("solo", 1.0, 1.0)]
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_tenants(["a", "a"])
+
+    def test_rejects_bad_numbers(self):
+        with pytest.raises(ValueError, match="numbers"):
+            parse_tenants(["etl:fast"])
+
+    def test_rejects_extra_fields(self):
+        with pytest.raises(ValueError, match="expected"):
+            parse_tenants(["a:1:1:1"])
+
+    def test_tenant_validation(self):
+        with pytest.raises(ValueError):
+            Tenant("")
+        with pytest.raises(ValueError):
+            Tenant("a/b")
+        with pytest.raises(ValueError):
+            Tenant("a", weight=0)
+        with pytest.raises(ValueError):
+            Tenant("a", quota=0)
+        with pytest.raises(ValueError):
+            Tenant("a", quota=1.5)

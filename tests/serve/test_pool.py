@@ -1,0 +1,172 @@
+"""Tests for the slot pool: conservation, handoff delay, owed repayment."""
+
+import pytest
+
+from repro.serve import FifoPolicy, SlotPool
+from repro.serve.policy import FairSharePolicy, make_policy
+from repro.serve.tenancy import Tenant
+from repro.sim.core import Simulator
+
+
+def make_pool(n_nodes=2, cores=4, policy=None, delay=0.0):
+    sim = Simulator()
+    pool = SlotPool(sim, n_nodes, cores,
+                    policy if policy is not None else FifoPolicy(),
+                    moving_delay=delay)
+    return sim, pool
+
+
+class FakeRunner:
+    """Stands in for a StageRunner: tracks capacity, can hold cores busy."""
+
+    def __init__(self, busy_nodes=()):
+        self.granted = []
+        self.busy = set(busy_nodes)
+        self.slot_listener = None
+
+    def add_capacity(self, node, k=1):
+        self.granted.append((node, k))
+
+    def remove_capacity(self, node, k=1):
+        # Busy nodes refuse immediate reclamation (task still running).
+        return 0 if node in self.busy else k
+
+    def finish_task(self, node):
+        """The running task exited: repay the owed core."""
+        self.busy.discard(node)
+        if self.slot_listener is not None:
+            self.slot_listener(node)
+
+
+class TestConservation:
+    def test_admit_grant_release_cycle(self):
+        sim, pool = make_pool()
+        lease = pool.admit("a", demand=5)
+        sim.run()  # deliver the zero-delay grants
+        pool.assert_consistent()
+        assert lease.held == 5
+        assert sum(pool.free) == 3
+        pool.release(lease)
+        pool.assert_consistent()
+        assert sum(pool.free) == 8
+
+    def test_demand_caps_allocation(self):
+        sim, pool = make_pool()
+        lease = pool.admit("a", demand=2)
+        sim.run()
+        assert lease.held == 2
+        assert sum(pool.free) == 6
+
+    def test_moving_delay_defers_delivery(self):
+        sim, pool = make_pool(delay=0.5)
+        lease = pool.admit("a", demand=3)
+        pool.assert_consistent()
+        assert lease.held == 0 and len(lease.pending) == 3
+        assert pool.accounted()["moving"] == 3
+        sim.run()
+        assert sim.now == pytest.approx(0.5)
+        assert lease.held == 3 and not lease.pending
+        assert lease.first_grant_at == pytest.approx(0.5)
+        pool.assert_consistent()
+
+    def test_release_cancels_inflight_grants(self):
+        sim, pool = make_pool(delay=1.0)
+        lease = pool.admit("a", demand=4)
+        pool.release(lease)  # before any delivery lands
+        pool.assert_consistent()
+        sim.run()  # cancelled grants come home
+        pool.assert_consistent()
+        assert sum(pool.free) == 8
+        assert pool.accounted()["moving"] == 0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="moving_delay"):
+            SlotPool(sim, 2, 4, FifoPolicy(), moving_delay=-1)
+
+
+class TestFifoHeadOfLine:
+    def test_second_lease_waits_for_first(self):
+        sim, pool = make_pool()
+        first = pool.admit("a", demand=8)  # takes the whole cluster
+        sim.run()
+        second = pool.admit("b", demand=4)
+        sim.run()
+        assert first.held == 8 and second.held == 0
+        pool.release(first)
+        sim.run()
+        assert second.held == 4
+        pool.assert_consistent()
+
+
+class TestOwedRepayment:
+    def test_busy_core_returns_at_task_exit(self):
+        fair = FairSharePolicy([Tenant("a"), Tenant("b")])
+        sim, pool = make_pool(policy=fair)
+        a = pool.admit("a", demand=8)
+        sim.run()
+        assert a.held == 8
+        runner = FakeRunner(busy_nodes={0, 1})  # every core runs a task
+        runner.slot_listener = a.slot_freed
+        a.attach(runner)
+        b = pool.admit("b", demand=8)  # fair share: 4 apiece
+        sim.run()
+        pool.assert_consistent()
+        # All of a's cores are busy: the shrink becomes debt, b starves.
+        assert pool.accounted()["owed"] == 4
+        assert b.held == 0 and not b.pending
+        assert a.held == 4  # entitlement dropped even though cores run on
+        # Four tasks exit (two per node); each repayment flows
+        # lease -> pool -> regrant.
+        for node in (0, 1, 0, 1):
+            runner.finish_task(node)
+        sim.run()
+        pool.assert_consistent()
+        assert pool.accounted()["owed"] == 0
+        assert b.held == 4
+
+    def test_idle_revocation_is_immediate(self):
+        sim, pool = make_pool()
+        a = pool.admit("a", demand=8)
+        sim.run()
+        # No runner attached: every held core is idle, so shrinking to a
+        # smaller demand frees cores for the next lease at once.
+        a.demand = 2
+        b = pool.admit("b", demand=6)
+        sim.run()
+        assert a.held == 2 and b.held == 6
+        assert pool.accounted()["owed"] == 0
+        pool.assert_consistent()
+
+
+class TestFairShare:
+    def tenants(self):
+        return [Tenant("big", weight=2.0), Tenant("small", weight=1.0,
+                                                   quota=0.25)]
+
+    def test_weighted_split(self):
+        sim, pool = make_pool(n_nodes=3, cores=4,
+                              policy=FairSharePolicy(self.tenants()))
+        big = pool.admit("big", demand=12)
+        small = pool.admit("small", demand=12)
+        sim.run()
+        # small's quota caps it at floor(0.25 * 12) = 3; big soaks the rest.
+        assert small.held == 3
+        assert big.held == 9
+        pool.assert_consistent()
+
+    def test_equal_split_within_tenant(self):
+        sim, pool = make_pool(n_nodes=2, cores=4,
+                              policy=FairSharePolicy(self.tenants()))
+        j1 = pool.admit("big", demand=8)
+        j2 = pool.admit("big", demand=8)
+        sim.run()
+        assert {j1.held, j2.held} == {4}
+        pool.assert_consistent()
+
+    def test_make_policy(self):
+        assert isinstance(make_policy("fifo", []), FifoPolicy)
+        assert isinstance(make_policy("fair", self.tenants()),
+                          FairSharePolicy)
+        with pytest.raises(ValueError, match="policy"):
+            make_policy("lottery", [])

@@ -159,3 +159,66 @@ class TestExperimentsPassthrough:
         assert main(["experiments", "list"]) == 0
         out = capsys.readouterr().out
         assert "fig05" in out and "table1" in out
+
+
+class TestArgValidation:
+    """Pointed rejections for nonsense sizes (satellite of the serve PR)."""
+
+    def test_run_rejects_nonpositive_nodes(self):
+        with pytest.raises(SystemExit, match="positive node count"):
+            main(["run", "--workload", "grep", "--data-gb", "2",
+                  "--nodes", "0"])
+        with pytest.raises(SystemExit, match="positive node count"):
+            main(["run", "--workload", "grep", "--data-gb", "2",
+                  "--nodes=-3"])
+
+    def test_run_rejects_nonpositive_data_gb(self):
+        with pytest.raises(SystemExit, match="positive data size"):
+            main(["run", "--workload", "grep", "--data-gb", "0",
+                  "--nodes", "2"])
+        with pytest.raises(SystemExit, match="positive data size"):
+            main(["run", "--workload", "grep", "--data-gb=-1",
+                  "--nodes", "2"])
+
+    def test_describe_rejects_nonpositive_nodes(self):
+        with pytest.raises(SystemExit, match="positive node count"):
+            main(["describe-cluster", "--nodes", "0"])
+
+
+class TestServe:
+    BASE = ["serve", "--nodes", "2", "--jobs", "4", "--base-gb", "0.5",
+            "--arrival-rate", "0.5", "--tenants", "etl:2,adhoc:1:0.5"]
+
+    def test_serve_prints_per_tenant_summary(self, capsys):
+        assert main(self.BASE + ["--policy", "fair"]) == 0
+        out = capsys.readouterr().out
+        assert "policy=fair" in out
+        assert "tenant=" in out and "latency_p90=" in out
+        assert out.count("job tenant=") == 4
+
+    def test_serve_writes_json(self, tmp_path, capsys):
+        path = tmp_path / "stream.json"
+        assert main(self.BASE + ["--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["n_jobs"] == 4
+        assert len(payload["outcomes"]) == 4
+
+    def test_serve_reruns_byte_identical(self, capsys):
+        main(self.BASE + ["--policy", "fair"])
+        first = capsys.readouterr().out
+        main(self.BASE + ["--policy", "fair"])
+        assert capsys.readouterr().out == first
+
+    def test_serve_validation(self):
+        with pytest.raises(SystemExit, match="--arrival-rate"):
+            main(["serve", "--arrival-rate", "0"])
+        with pytest.raises(SystemExit, match="--jobs"):
+            main(["serve", "--jobs", "0"])
+        with pytest.raises(SystemExit, match="--base-gb"):
+            main(["serve", "--base-gb", "0"])
+        with pytest.raises(SystemExit, match="positive node count"):
+            main(["serve", "--nodes", "0"])
+        with pytest.raises(SystemExit, match="--handoff-delay"):
+            main(["serve", "--handoff-delay=-1"])
+        with pytest.raises(SystemExit, match="bad --tenants"):
+            main(["serve", "--tenants", "a,a"])
