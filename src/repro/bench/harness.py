@@ -9,14 +9,14 @@ accumulate across commits (see DESIGN.md §8 for how to read it):
 .. code-block:: json
 
     {
-      "schema": 1,
+      "schema": 3,
       "name": "shuffle_wave",
       "quick": false,
       "unix_time": 1754000000.0,
       "optimized":  {"wall_s": ..., "events": ..., "events_per_s": ...,
-                     "sim_time_s": ..., "metrics": {...},
-                     "fingerprint_sha256": "..."},
-      "reference":  {... same shape ...} ,
+                     "kernel_mode": "c", "sim_time_s": ...,
+                     "metrics": {...}, "fingerprint_sha256": "..."},
+      "reference":  {... same shape, "kernel_mode": "python" ...},
       "speedup_events_per_s": 3.4,
       "check": {"ran": true, "passed": true},
       "telemetry": {"wall_s": ..., "events_per_s": ...,
@@ -35,6 +35,24 @@ installed, probe sampling — so the tracked perf trajectory also records
 what observation *costs* (``overhead_pct``, vs the bare optimized wall)
 and re-asserts per commit that it costs nothing in *behavior*
 (``fingerprint_matches``).
+
+Schema 3 adds:
+
+* ``kernel_mode`` per timed run — ``"c"`` when both compiled kernels
+  (:mod:`repro.net.fastalloc`, :mod:`repro.sim.fastdrain`) loaded,
+  ``"numpy"`` when the optimized engine fell back to vectorized python,
+  and ``"python"`` for reference rows.  Numbers from different kernel
+  modes are not comparable; the column makes that visible in the
+  trajectory instead of silently mixing them.
+* ``repro bench --profile`` — a cProfile'd second optimized run per
+  scenario, written as ``PROFILE_<name>.pstats`` (load with
+  :mod:`pstats` or snakeviz) plus a ``PROFILE_<name>.json`` top-N
+  hot-function table for diffing across commits without tooling.
+* ``repro bench --compare OLD`` — prints the events/s delta against a
+  previous ``BENCH_*.json`` (or a directory of them), flagging drops
+  greater than 5 % as ``REGRESSION``.  Informational only: the exit
+  code stays 0 so noisy CI boxes don't flap, but the highlight makes
+  drift impossible to miss in the log.
 """
 
 from __future__ import annotations
@@ -52,9 +70,27 @@ from repro.bench.scenarios import SCENARIOS, ScenarioResult, run_scenario
 from repro.experiments.runner import map_parallel
 from repro.sim import perfmode
 
-__all__ = ["BenchReport", "bench_scenario", "run_bench", "main"]
+__all__ = ["BenchReport", "bench_scenario", "kernel_mode",
+           "profile_scenario", "load_compare", "run_bench", "main"]
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
+
+
+def kernel_mode(reference: bool = False) -> str:
+    """Which inner-loop implementation produced a timed run's numbers.
+
+    ``"c"`` — both compiled kernels (fabric allocator + fluid drain /
+    fair share) loaded; ``"numpy"`` — the optimized engine fell back to
+    the vectorized python paths (no C compiler, or
+    ``REPRO_NO_CKERNEL=1``); ``"python"`` — the retained reference
+    engine, which never uses either.  events/s from different modes are
+    not comparable, so the column travels with every row.
+    """
+    if reference:
+        return "python"
+    from repro.net import fastalloc
+    from repro.sim import fastdrain
+    return "c" if (fastalloc.AVAILABLE and fastdrain.AVAILABLE) else "numpy"
 
 
 @dataclass
@@ -75,6 +111,7 @@ class TimedRun:
             "wall_s": round(self.wall_s, 6),
             "events": self.result.events,
             "events_per_s": round(self.events_per_s, 1),
+            "kernel_mode": kernel_mode(reference=self.mode == "reference"),
             "sim_time_s": self.result.sim_time,
             "metrics": self.result.metrics,
             "fingerprint_sha256": fingerprint_digest(
@@ -202,6 +239,91 @@ def bench_scenario(name: str, quick: bool = False, baseline: bool = False,
     return report
 
 
+def profile_scenario(name: str, quick: bool = False, out_dir: str = ".",
+                     top_n: int = 25) -> Dict[str, str]:
+    """cProfile one optimized run; write pstats + a top-N JSON table.
+
+    Two artifacts land in ``out_dir``: ``PROFILE_<name>.pstats`` (the
+    full profile, for ``python -m pstats`` or snakeviz) and
+    ``PROFILE_<name>.json`` — the ``top_n`` hottest functions by
+    tottime, which diffs cleanly across commits and is what CI uploads.
+    Runs single-process and separately from the timed runs: the
+    profiler's tracing overhead must never contaminate the tracked
+    events/s trajectory.
+    """
+    import cProfile
+    gc.collect()
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        run_scenario(name, quick=quick)
+    finally:
+        prof.disable()
+    os.makedirs(out_dir, exist_ok=True)
+    pstats_path = os.path.join(out_dir, f"PROFILE_{name}.pstats")
+    prof.dump_stats(pstats_path)
+    import pstats
+    rows = []
+    stats = pstats.Stats(prof)
+    for (filename, line, func), (_cc, nc, tt, ct, _callers) in \
+            stats.stats.items():
+        rows.append({"file": filename, "line": line, "function": func,
+                     "ncalls": nc, "tottime_s": round(tt, 6),
+                     "cumtime_s": round(ct, 6)})
+    rows.sort(key=lambda r: r["tottime_s"], reverse=True)
+    json_path = os.path.join(out_dir, f"PROFILE_{name}.json")
+    with open(json_path, "w") as fh:
+        json.dump({"schema": 1, "name": name, "quick": quick,
+                   "kernel_mode": kernel_mode(),
+                   "sorted_by": "tottime_s", "top": rows[:top_n]},
+                  fh, indent=2)
+        fh.write("\n")
+    return {"pstats": pstats_path, "json": json_path}
+
+
+def load_compare(path: str) -> Dict[str, Dict[str, Any]]:
+    """Read old ``BENCH_*.json`` report(s) for ``--compare``.
+
+    Accepts either one report file or a directory of them; returns a
+    ``{scenario_name: report_dict}`` map.  Any schema version works —
+    only ``optimized.events_per_s`` is consulted.
+    """
+    paths = []
+    if os.path.isdir(path):
+        paths = [os.path.join(path, fn) for fn in sorted(os.listdir(path))
+                 if fn.startswith("BENCH_") and fn.endswith(".json")]
+    else:
+        paths = [path]
+    old: Dict[str, Dict[str, Any]] = {}
+    for p in paths:
+        with open(p) as fh:
+            doc = json.load(fh)
+        if isinstance(doc, dict) and "name" in doc and "optimized" in doc:
+            old[doc["name"]] = doc
+    return old
+
+
+#: events/s drop (vs the --compare baseline) flagged as a regression.
+REGRESSION_THRESHOLD_PCT = 5.0
+
+
+def compare_line(report: BenchReport,
+                 old: Dict[str, Any]) -> Optional[str]:
+    """One ``--compare`` delta line for a scenario (None if no data)."""
+    try:
+        old_eps = float(old["optimized"]["events_per_s"])
+    except (KeyError, TypeError, ValueError):
+        return None
+    if old_eps <= 0:
+        return None
+    new_eps = report.optimized.events_per_s
+    delta_pct = (new_eps - old_eps) / old_eps * 100.0
+    flag = ("  << REGRESSION"
+            if delta_pct < -REGRESSION_THRESHOLD_PCT else "")
+    return (f"  vs old: {old_eps:12,.0f} -> {new_eps:12,.0f} events/s "
+            f"({delta_pct:+.1f}%){flag}")
+
+
 def write_report(report: BenchReport, out_dir: str) -> str:
     os.makedirs(out_dir, exist_ok=True)
     path = os.path.join(out_dir, f"BENCH_{report.name}.json")
@@ -215,7 +337,9 @@ def run_bench(scenarios: Optional[List[str]] = None, quick: bool = False,
               baseline: bool = False, check: bool = False,
               out_dir: str = ".", jobs: int = 1,
               telemetry: bool = True,
-              capture_dir: Optional[str] = None) -> List[BenchReport]:
+              capture_dir: Optional[str] = None,
+              profile: bool = False,
+              compare: Optional[str] = None) -> List[BenchReport]:
     """Run the selected scenarios and write one ``BENCH_*.json`` each.
 
     ``jobs > 1`` fans scenarios out across a process pool (the same
@@ -223,8 +347,14 @@ def run_bench(scenarios: Optional[List[str]] = None, quick: bool = False,
     and hence the ``--check`` identity verdicts — are unaffected, but
     the scenarios share the machine, so treat parallel wall-clock
     timings as smoke numbers, not the tracked perf trajectory.
+
+    ``profile`` adds a cProfile'd extra run per scenario (sequential,
+    in this process, after the timed run) writing ``PROFILE_<name>``
+    artifacts next to the reports.  ``compare`` prints events/s deltas
+    against old report(s) at that path, flagging >5 % drops.
     """
     names = scenarios if scenarios else list(SCENARIOS)
+    old_reports = load_compare(compare) if compare else {}
     worker = functools.partial(bench_scenario, quick=quick,
                                baseline=baseline, check=check,
                                telemetry=telemetry, capture_dir=capture_dir)
@@ -245,7 +375,14 @@ def run_bench(scenarios: Optional[List[str]] = None, quick: bool = False,
             line += (f" | telemetry {report.telemetry_overhead_pct:+.1f}% "
                      f"({match})")
         print(line)
+        if name in old_reports:
+            delta = compare_line(report, old_reports[name])
+            if delta is not None:
+                print(delta)
         print(f"  wrote {path}")
+        if profile:
+            artifacts = profile_scenario(name, quick=quick, out_dir=out_dir)
+            print(f"  wrote {artifacts['pstats']} + {artifacts['json']}")
         reports.append(report)
     return reports
 
@@ -256,11 +393,17 @@ def main(args) -> int:
     if jobs < 1:
         print(f"--jobs must be >= 1, got {jobs}")
         return 2
+    compare = getattr(args, "compare", None)
+    if compare and not os.path.exists(compare):
+        print(f"--compare path does not exist: {compare}")
+        return 2
     reports = run_bench(scenarios=args.scenario or None, quick=args.quick,
                         baseline=args.baseline, check=args.check,
                         out_dir=args.out_dir, jobs=jobs,
                         telemetry=not getattr(args, "no_telemetry", False),
-                        capture_dir=getattr(args, "capture_dir", None))
+                        capture_dir=getattr(args, "capture_dir", None),
+                        profile=getattr(args, "profile", False),
+                        compare=compare)
     if args.check and not all(r.check_passed for r in reports):
         failed = [r.name for r in reports if not r.check_passed]
         print(f"CHECK FAILED: optimized and reference engines diverged "

@@ -103,6 +103,146 @@ def _shuffle_wave(quick: bool,
                  "bytes_completed": fab.bytes_completed})
 
 
+def _shuffle_wave_10x(quick: bool,
+                      telemetry: Optional[Telemetry] = None
+                      ) -> ScenarioResult:
+    """Reduce-side shuffle wave at 10x Hyperion scale (1,010 nodes).
+
+    Same fetch-chain structure as ``shuffle_wave`` but each reducer
+    pulls from a bounded, deterministically-spread sender set instead of
+    every peer — at this node count the bottleneck under test is the
+    allocator's and calendar's scaling with *fabric size*, not raw flow
+    count.  Above ``_COMPACT_NODES`` the optimized allocator runs over
+    the compressed active-endpoint set; the reference path still scans
+    all 2 * n_nodes channels per water-level round.
+    """
+    n_nodes = 253 if quick else 1010
+    fan = 8 if quick else 12
+    window = 2
+    sim = Simulator()
+    fab = Fabric(sim, n_nodes=n_nodes, nic_bw=4 * GB, latency=20e-6)
+    if telemetry is not None:
+        obs_wiring.register_fabric(telemetry.registry, fab)
+        telemetry.bind(sim)
+    completions: List[Tuple[Tuple[int, int], float]] = []
+
+    def issue(reducer: int, pending: List[int]) -> None:
+        if not pending:
+            return
+        sender = pending.pop()
+        size = 12 * MB + (sender * 131 + reducer * 17) % 4096 * 1024.0
+        ev = fab.transfer(sender, reducer, size, tag=(sender, reducer))
+
+        def on_done(e, reducer=reducer, pending=pending):
+            completions.append((e.value.tag, sim.now))
+            issue(reducer, pending)
+
+        ev.add_callback(on_done)
+
+    for reducer in range(n_nodes):
+        # Deterministic sender spread, sender != reducer guaranteed
+        # (offset < n_nodes - 1), offsets distinct for this fan-out.
+        senders = [(reducer + 1 + (k * 83) % (n_nodes - 1)) % n_nodes
+                   for k in range(fan)]
+        senders.reverse()
+        for _ in range(window):
+            issue(reducer, senders)
+    sim.run()
+    return ScenarioResult(
+        events=sim.events_dispatched,
+        sim_time=sim.now,
+        fingerprint=(tuple(completions), fab.bytes_completed),
+        metrics={"n_flows": float(n_nodes * fan),
+                 "n_nodes": float(n_nodes),
+                 "bytes_completed": fab.bytes_completed})
+
+
+def _idle_giant(quick: bool,
+                telemetry: Optional[Telemetry] = None) -> ScenarioResult:
+    """10,000-node idle-heavy smoke: O(active) must mean idle is free.
+
+    A small shuffle wave (first 101 nodes) plus one sparse ELB-scheduled
+    stage run across the *entire* cluster — so the frontier, the cached
+    cluster average, and the compressed fabric channel set all face four
+    orders of magnitude more nodes than active work.  The acceptance bar
+    (ISSUE 7): per-event wall cost within 2x of the 101-node scenario,
+    i.e. the 9,899 idle nodes cost nothing per event.
+    """
+    from repro.core.elb import EnhancedLoadBalancer
+    from repro.core.policies import LocalityFirstPolicy
+    from repro.core.scheduler import StageRunner
+    from repro.core.task import SimTask
+    from repro.core.volumes import NodeVolumes
+
+    n_nodes = 1000 if quick else 10_000
+    active = 24 if quick else 101
+    fan = 8 if quick else 10
+    n_tasks = 100 if quick else 600
+    sim = Simulator()
+    fab = Fabric(sim, n_nodes=n_nodes, nic_bw=4 * GB, latency=20e-6)
+    if telemetry is not None:
+        obs_wiring.register_fabric(telemetry.registry, fab)
+        telemetry.bind(sim)
+    completions: List[Tuple[Tuple[int, int], float]] = []
+
+    def issue(reducer: int, pending: List[int]) -> None:
+        if not pending:
+            return
+        sender = pending.pop()
+        size = 8 * MB + (sender * 131 + reducer * 17) % 2048 * 1024.0
+        ev = fab.transfer(sender, reducer, size, tag=(sender, reducer))
+
+        def on_done(e, reducer=reducer, pending=pending):
+            completions.append((e.value.tag, sim.now))
+            issue(reducer, pending)
+
+        ev.add_callback(on_done)
+
+    for reducer in range(active):
+        senders = [(reducer + 1 + (k * 83) % (active - 1)) % active
+                   for k in range(fan)]
+        senders.reverse()
+        for _ in range(2):
+            issue(reducer, senders)
+
+    # One sparse stage over the full cluster: short tasks, ELB balance
+    # bookkeeping per completion — every offer pass walks the frontier.
+    vols = NodeVolumes(n_nodes)
+
+    def make_body(tid: int):
+        dur = 0.004 + (tid * 13 % 97) * 1e-4
+
+        def body(node: int, dur=dur):
+            yield sim.timeout(dur)
+
+        return body
+
+    tasks = [SimTask(tid, "sparse", make_body(tid), nbytes=1.0)
+             for tid in range(n_tasks)]
+    policy = EnhancedLoadBalancer(LocalityFirstPolicy(), vols)
+
+    def on_task_done(task, node, record):
+        vols[node] += 1.0 + float(task.task_id % 7)
+
+    runner = StageRunner(sim, n_nodes, cores_per_node=2, tasks=tasks,
+                         policy=policy, on_complete=on_task_done)
+    runner.run()
+    sim.run()
+    records = tuple(sorted(
+        (r.task_id, r.node, r.started_at, r.finished_at)
+        for r in runner.records))
+    return ScenarioResult(
+        events=sim.events_dispatched,
+        sim_time=sim.now,
+        fingerprint=(tuple(completions), fab.bytes_completed, records,
+                     tuple(float(v) for v in vols)),
+        metrics={"n_nodes": float(n_nodes),
+                 "n_flows": float(active * fan),
+                 "n_tasks": float(n_tasks),
+                 "elb_vetoes": float(policy.vetoes),
+                 "bytes_completed": fab.bytes_completed})
+
+
 def _ssd_spill(quick: bool,
                telemetry: Optional[Telemetry] = None) -> ScenarioResult:
     """SSD-spill storm through a concurrency-degraded FluidPipe.
@@ -291,6 +431,8 @@ def _timer_churn(quick: bool,
 
 SCENARIOS: Dict[str, Callable[[bool], ScenarioResult]] = {
     "shuffle_wave": _shuffle_wave,
+    "shuffle_wave_10x": _shuffle_wave_10x,
+    "idle_giant": _idle_giant,
     "ssd_spill": _ssd_spill,
     "fig08_job": _fig08_job,
     "node_crash": _node_crash,

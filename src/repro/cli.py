@@ -15,7 +15,7 @@ Subcommands::
         [--elb] [--cad] [--json FILE]
     python -m repro report RUNLOG.jsonl  (per-phase utilization summary)
     python -m repro bench [--quick] [--check] [--baseline]
-        [--scenario NAME]... [--out-dir DIR]
+        [--scenario NAME]... [--out-dir DIR] [--profile] [--compare OLD]
     python -m repro experiments ...      (alias of repro.experiments CLI)
 """
 
@@ -166,6 +166,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     bench.add_argument("--capture-dir", default=None, metavar="DIR",
                        help="also export each scenario's instrumented run "
                             "as TRACE_<name>.json + LOG_<name>.jsonl here")
+    bench.add_argument("--profile", action="store_true",
+                       help="also cProfile one extra optimized run per "
+                            "scenario, writing PROFILE_<name>.pstats + a "
+                            "top-N JSON hot-function table to --out-dir")
+    bench.add_argument("--compare", default=None, metavar="OLD",
+                       help="print events/s deltas against a previous "
+                            "BENCH_<name>.json (or a directory of them); "
+                            ">5%% drops are flagged REGRESSION "
+                            "(informational, never changes the exit code)")
 
     sub.add_parser("experiments",
                    help="regenerate paper tables/figures "

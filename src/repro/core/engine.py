@@ -31,6 +31,7 @@ from repro.core.scheduler import StageRunner
 from repro.core.shuffle import FetchPlan, fetch_body
 from repro.core.speculation import SpeculativeExecution, TaskAttemptFailure
 from repro.core.task import SimTask
+from repro.core.volumes import NodeVolumes
 from repro.obs import capture as obs_capture
 from repro.obs import wiring as obs_wiring
 from repro.obs.registry import NULL_REGISTRY
@@ -124,8 +125,10 @@ class SparkSim:
         self.metrics = telemetry.registry if telemetry is not None \
             else NULL_REGISTRY
         n = cluster.n_nodes
-        #: Live per-node intermediate bytes (updated as map tasks finish).
-        self.node_intermediate = np.zeros(n)
+        #: Live per-node intermediate bytes (updated as map tasks
+        #: finish); versioned so ELB's cluster-average cache knows when
+        #: to recompute (DESIGN.md §12).
+        self.node_intermediate = NodeVolumes(n)
         self.node_task_counts = np.zeros(n, dtype=int)
         #: Per-node bytes actually materialised by the storing stage.
         self.node_store_bytes = np.zeros(n)
@@ -275,7 +278,7 @@ class SparkSim:
                 list(self._recovery_records))
         result = JobResult(job_name=self.spec.name, job_time=job_time,
                            phases=self._phases,
-                           node_intermediate=self.node_intermediate.copy(),
+                           node_intermediate=np.array(self.node_intermediate),
                            node_task_counts=self.node_task_counts.copy(),
                            seed=self.options.seed,
                            failures=list(self._failure_log),

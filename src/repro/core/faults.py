@@ -200,12 +200,19 @@ class NodeLiveness:
     def __init__(self, n_nodes: int) -> None:
         self.n_nodes = n_nodes
         self.mask = np.ones(n_nodes, dtype=bool)
+        #: Bumped on every state change; consumers (ELB's cached cluster
+        #: average, the scheduler frontier) key caches on it so liveness
+        #: flips invalidate exactly once instead of forcing full rescans.
+        self.version = 0
+        #: Dead-node count, maintained incrementally: hot paths test
+        #: ``n_dead == 0`` to skip per-node mask reads entirely.
+        self.n_dead = 0
 
     def alive(self, node: int) -> bool:
         return bool(self.mask[node])
 
     def any_alive(self) -> bool:
-        return bool(self.mask.any())
+        return self.n_dead < self.n_nodes
 
     def live_nodes(self) -> List[int]:
         return [n for n in range(self.n_nodes) if self.mask[n]]
@@ -214,10 +221,16 @@ class NodeLiveness:
         return [n for n in range(self.n_nodes) if not self.mask[n]]
 
     def mark_dead(self, node: int) -> None:
-        self.mask[node] = False
+        if self.mask[node]:
+            self.mask[node] = False
+            self.n_dead += 1
+            self.version += 1
 
     def mark_alive(self, node: int) -> None:
-        self.mask[node] = True
+        if not self.mask[node]:
+            self.mask[node] = True
+            self.n_dead -= 1
+            self.version += 1
 
 
 class ShuffleAvailability:

@@ -50,8 +50,13 @@ class SchedulingPolicy:
         return None
 
     def node_order(self, nodes: Sequence[int]) -> List[int]:
-        """Order in which free nodes receive offers."""
-        return list(nodes)
+        """Order in which free nodes receive offers.
+
+        ``nodes`` is a fresh list built per offer pass (see
+        ``StageRunner._free_nodes``), so the identity ordering returns
+        it as-is rather than copying O(n_nodes) per pass.
+        """
+        return nodes
 
     def on_complete(self, task: SimTask, node: int, duration: float) -> None:
         """Completion notification (for adaptive policies)."""

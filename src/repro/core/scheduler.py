@@ -24,11 +24,12 @@ class PR 1 fixed for timers.
 
 from __future__ import annotations
 
+from bisect import insort
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, \
     Set, Tuple
 
 from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
-from repro.sim import simtime
+from repro.sim import perfmode, simtime
 from repro.sim.events import Event, Interrupt
 from repro.core.cad import CongestionAwareDispatcher
 from repro.core.metrics import FailureRecord, TaskRecord
@@ -94,6 +95,15 @@ class StageRunner:
                 raise ValueError(
                     f"slots has {len(slots)} entries for {n_nodes} nodes")
             self.free_slots = [int(s) for s in slots]
+        #: Scheduler frontier (DESIGN.md §12): the ascending-sorted list
+        #: of nodes with at least one free slot, maintained at the four
+        #: slot-mutation sites on 0↔positive transitions.  The optimized
+        #: :meth:`_free_nodes` reads it instead of scanning all
+        #: ``n_nodes`` — on a mostly-busy (or mostly-irrelevant) large
+        #: cluster the offer sweep then costs O(frontier), and a node
+        #: with no free capacity costs nothing at all.
+        self._frontier: List[int] = [n for n in range(n_nodes)
+                                     if self.free_slots[n] > 0]
         #: Called with a node id whenever a *revoked* slot physically
         #: frees (its running task exited after remove_capacity had
         #: already reduced the entitlement) — the serve layer's hook for
@@ -152,6 +162,8 @@ class StageRunner:
                 for _ in range(pay):
                     self.slot_listener(node)
         if k > 0:
+            if self.free_slots[node] == 0:
+                insort(self._frontier, node)
             self.free_slots[node] += k
             if not self.done.triggered:
                 self._offer()
@@ -168,6 +180,8 @@ class StageRunner:
             return 0
         reclaimed = min(self.free_slots[node], k)
         self.free_slots[node] -= reclaimed
+        if reclaimed > 0 and self.free_slots[node] == 0:
+            self._frontier.remove(node)
         if k > reclaimed:
             self._owed_slots[node] = \
                 self._owed_slots.get(node, 0) + (k - reclaimed)
@@ -180,6 +194,8 @@ class StageRunner:
             if self.slot_listener is not None:
                 self.slot_listener(node)
         else:
+            if self.free_slots[node] == 0:
+                insort(self._frontier, node)
             self.free_slots[node] += 1
 
     # -- liveness ---------------------------------------------------------------
@@ -187,9 +203,24 @@ class StageRunner:
         return self.liveness is None or self.liveness.alive(node)
 
     def _free_nodes(self) -> List[int]:
-        """Nodes with a free slot, excluding dead ones."""
-        return [n for n in range(self.n_nodes)
-                if self.free_slots[n] > 0 and self._alive(n)]
+        """Nodes with a free slot, excluding dead ones.
+
+        The optimized path reads the maintained frontier (same ascending
+        order the reference full scan produces) and consults the
+        liveness mask only when some node is actually dead; the
+        reference O(n_nodes) scan is retained under perfmode so
+        ``repro bench --check`` and the frontier property tests can
+        prove equivalence.  Always returns a fresh list — callers (and
+        policies) may reorder it freely.
+        """
+        if perfmode.REFERENCE:
+            return [n for n in range(self.n_nodes)
+                    if self.free_slots[n] > 0 and self._alive(n)]
+        live = self.liveness
+        if live is not None and live.n_dead > 0:
+            mask = live.mask
+            return [n for n in self._frontier if mask[n]]
+        return list(self._frontier)
 
     def on_node_crash(self, node: int) -> None:
         """The node died: abandon its in-flight attempts and purge queued
@@ -265,7 +296,14 @@ class StageRunner:
             launched_any = False
             throttle_retry: Optional[float] = None
             for node in order:
-                if self.free_slots[node] <= 0 or len(self.queue) == 0:
+                if len(self.queue) == 0:
+                    # Nothing left to place: the remaining nodes in this
+                    # pass could only ever continue (no trace, no state
+                    # change), so stop sweeping them.  On a huge, mostly
+                    # free cluster this is the difference between an
+                    # O(queue) and an O(nodes) pass.
+                    break
+                if self.free_slots[node] <= 0:
                     continue
                 if self.throttler is not None and \
                         not self.throttler.ready(node, now):
@@ -397,6 +435,8 @@ class StageRunner:
     def _launch(self, task: SimTask, node: int,
                 speculative: bool = False) -> None:
         self.free_slots[node] -= 1
+        if self.free_slots[node] == 0:
+            self._frontier.remove(node)
         self._m_launches.inc()
         if speculative:
             self._m_spec.inc()

@@ -1,0 +1,42 @@
+"""Versioned per-node volume vectors.
+
+:class:`NodeVolumes` is a plain float64 :class:`numpy.ndarray` (every
+existing consumer — ``.sum()``, ``.copy()``, fancy indexing, telemetry
+gauges — keeps working unchanged) that additionally bumps a ``version``
+counter on every element write.  ELB keys its cached cluster average on
+that counter (together with :class:`~repro.core.faults.NodeLiveness`'s),
+so the O(nodes) ``mean()`` runs once per actual data change instead of
+once per offer — the difference between O(active) and O(nodes) scans on
+a mostly-idle 10,000-node cluster (DESIGN.md §12).
+
+The counter only tracks ``__setitem__`` (which covers the engine's
+``vols[node] += x`` read-modify-write form).  Whole-array in-place
+operators are deliberately *not* intercepted; the engine never uses
+them on these vectors, and consumers fall back to uncached behaviour
+for arrays without a ``version`` attribute anyway.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["NodeVolumes"]
+
+
+class NodeVolumes(np.ndarray):
+    """A zero-initialised float64 vector with a write-version counter."""
+
+    def __new__(cls, n_nodes: int) -> "NodeVolumes":
+        obj = np.zeros(int(n_nodes)).view(cls)
+        obj.version = 0
+        return obj
+
+    def __array_finalize__(self, obj) -> None:
+        # Views/copies start their own counter; sliced views are not
+        # written through in this codebase, so no propagation is needed.
+        if not hasattr(self, "version"):
+            self.version = getattr(obj, "version", 0)
+
+    def __setitem__(self, key, value) -> None:
+        self.version += 1
+        np.ndarray.__setitem__(self, key, value)

@@ -47,15 +47,27 @@ __all__ = ["Fabric", "NetFlow"]
 
 GB = 1024.0 ** 3
 _EPS = 1e-9
+#: Above this many fabric nodes the allocator compresses the channel set
+#: to the endpoints that actually carry flows (np.unique + searchsorted)
+#: and the per-node rate refresh scatters over touched nodes only, so a
+#: mostly-idle 10,000-node fabric pays O(active), not O(n_nodes), per
+#: flow event.  Idle channels are exact no-ops in the water-level loop
+#: (head stays at nic_bw: +inf in the unmasked division falls out of the
+#: min, count 0 makes the decrement a no-op, and nic_bw never crosses
+#: the 1e-7*nic_bw saturation tolerance), so dropping them is
+#: bit-identical — below the threshold the dense form is cheaper.
+_COMPACT_NODES = 256
 
 
 class NetFlow:
     """One transfer in flight through the fabric.
 
     A thin view over the fabric's columnar flow state: the authoritative
-    ``remaining``/``rate`` live in the arrays; the object mirrors them at
-    allocation and completion boundaries for inspection and carries the
-    completion event and tag.
+    ``remaining``/``rate`` live in the arrays; the object mirrors
+    ``remaining`` at allocation and completion boundaries and carries
+    the completion event and tag.  ``rate`` is *not* mirrored per
+    reallocation on the optimized path (that was an O(flows) Python loop
+    per flow event); read ``Fabric._tab.col("rate")`` for live rates.
     """
 
     __slots__ = ("src", "dst", "size", "remaining", "rate", "cap", "done",
@@ -126,11 +138,28 @@ class Fabric:
         # Allocator scratch over the 2*n_nodes NIC channels (tx slots
         # 0..n-1, rx slots n..2n-1), reused across reallocations so the
         # per-round cost is ufunc dispatch, not allocation.
-        self._ab_heads = np.empty(2 * n_nodes)
-        self._ab_q = np.empty(2 * n_nodes)
-        self._ab_tmp = np.empty(2 * n_nodes)
-        self._ab_sat = np.empty(2 * n_nodes, dtype=bool)
+        # On giant fabrics (> _COMPACT_NODES) the allocator runs over the
+        # compressed active-endpoint set, so scratch starts small and
+        # grows to the observed active width instead of 2 * n_nodes.
+        width = 2 * n_nodes if n_nodes <= _COMPACT_NODES else 64
+        self._ab_heads = np.empty(width)
+        self._ab_q = np.empty(width)
+        self._ab_tmp = np.empty(width)
+        self._ab_sat = np.empty(width, dtype=bool)
         self._ab_ones = np.ones(64)
+        #: Nodes whose tx/rx accumulators are currently nonzero-scattered
+        #: (compact refresh path): the next refresh zeroes exactly these.
+        self._touched = np.empty(0, dtype=np.int64)
+        # Compression scratch (giant fabrics): a node-presence bitmap
+        # plus an old-id -> compressed-id lookup table.  flatnonzero on
+        # the bitmap yields the same ascending unique endpoint set as
+        # np.unique over src+dst, and table lookup the same positions as
+        # searchsorted, in O(n + m) with no sorting — at shuffle scale
+        # (thousands of flows) the sort was costlier than the allocator.
+        if n_nodes > _COMPACT_NODES:
+            self._present = np.zeros(n_nodes, dtype=bool)
+            self._inv = np.empty(n_nodes, dtype=np.int64)
+            self._iota = np.arange(n_nodes, dtype=np.int64)
         # Reference-path flow state (perfmode), parallel to ``self.flows``.
         self._src = np.empty(0, dtype=np.int64)
         self._dst = np.empty(0, dtype=np.int64)
@@ -274,14 +303,52 @@ class Fabric:
         self._remaining = self._remaining[keep]
         self._rates = self._rates[keep]
 
-    def _refresh_node_rates(self) -> None:
-        """Rebuild the O(1) per-node tx/rx rate accumulators."""
-        tab = self._tab
-        if tab.n == 0:
+    def _zero_node_rates(self) -> None:
+        """Clear the accumulators, touching only scattered-to nodes on
+        giant fabrics."""
+        if self.n_nodes > _COMPACT_NODES:
+            t = self._touched
+            if t.size:
+                self._tx_rate[t] = 0.0
+                self._rx_rate[t] = 0.0
+                self._touched = t[:0]
+        else:
             self._tx_rate[:] = 0.0
             self._rx_rate[:] = 0.0
+
+    def _refresh_node_rates(self, u: Optional[np.ndarray] = None,
+                            cs: Optional[np.ndarray] = None,
+                            cd: Optional[np.ndarray] = None) -> None:
+        """Rebuild the O(1) per-node tx/rx rate accumulators.
+
+        On fabrics above :data:`_COMPACT_NODES` the weighted bincounts
+        run over the compressed endpoint set (``u`` ascending active
+        nodes, ``cs``/``cd`` the flows' positions in it — recomputed
+        here when the caller didn't already have them) and scatter to
+        exactly those nodes, zeroing only the previously-touched set:
+        per-flow-event cost is O(active endpoints), never O(n_nodes).
+        np.bincount sums weights sequentially in input order, so the
+        compact sums are bitwise the dense per-node sums.
+        """
+        tab = self._tab
+        if tab.n == 0:
+            self._zero_node_rates()
             return
         rates = tab.col("rate")
+        if self.n_nodes > _COMPACT_NODES:
+            if u is None:
+                u, cs, cd = self._compress_endpoints(tab.col("src"),
+                                                     tab.col("dst"))
+            t = self._touched
+            if t.size:
+                self._tx_rate[t] = 0.0
+                self._rx_rate[t] = 0.0
+            self._tx_rate[u] = np.bincount(cs, weights=rates,
+                                           minlength=u.size)
+            self._rx_rate[u] = np.bincount(cd, weights=rates,
+                                           minlength=u.size)
+            self._touched = u
+            return
         self._tx_rate = np.bincount(tab.col("src"), weights=rates,
                                     minlength=self.n_nodes)
         self._rx_rate = np.bincount(tab.col("dst"), weights=rates,
@@ -430,36 +497,67 @@ class Fabric:
         tab = self._tab
         m = tab.n
         if m == 0:
-            self._tx_rate[:] = 0.0
-            self._rx_rate[:] = 0.0
+            self._zero_node_rates()
             return
         rate = tab.col("rate")
+        src = tab.col("src")
+        dst = tab.col("dst")
+        if self.n_nodes > _COMPACT_NODES:
+            # Compress the channel set to the endpoints actually carrying
+            # flows (bit-identical: see _COMPACT_NODES).  The C kernel
+            # and the NumPy loop both then allocate and iterate over
+            # O(active) channels regardless of fabric size.
+            u, cs, cd = self._compress_endpoints(src, dst)
+            n_ch = u.size
+        else:
+            u = None
+            cs, cd, n_ch = src, dst, self.n_nodes
         if not (fastalloc.AVAILABLE and fastalloc.assign_rates(
-                self.n_nodes, tab.col("src"), tab.col("dst"),
-                tab.col("cap"), self.nic_bw, self.bisection_bw, rate)):
-            rate[:] = self._assign_rates_numpy()
-        self._refresh_node_rates()
-        for f, r in zip(self.flows, rate.tolist()):
-            f.rate = r
+                n_ch, cs, cd, tab.col("cap"), self.nic_bw,
+                self.bisection_bw, rate)):
+            rate[:] = self._assign_rates_numpy(n_ch, cs, cd)
+        self._refresh_node_rates(u, cs, cd)
 
-    def _assign_rates_numpy(self) -> np.ndarray:
-        """Pure-NumPy fast allocator (see :meth:`_assign_rates_fast`)."""
+    def _compress_endpoints(self, src: np.ndarray, dst: np.ndarray):
+        """Active endpoint set + compressed flow indices, in O(n + m)."""
+        present = self._present
+        present[src] = True
+        present[dst] = True
+        u = np.flatnonzero(present)
+        present[u] = False  # reset scratch for the next call
+        inv = self._inv
+        inv[u] = self._iota[:u.size]
+        return u, inv[src], inv[dst]
+
+    def _assign_rates_numpy(self, n: int, src: np.ndarray,
+                            dst: np.ndarray) -> np.ndarray:
+        """Pure-NumPy fast allocator (see :meth:`_assign_rates_fast`).
+
+        ``n`` is the channel-set node count and ``src``/``dst`` index
+        into it — the full fabric below :data:`_COMPACT_NODES`, the
+        compressed active-endpoint set above it.
+        """
         tab = self._tab
         m = tab.n
-        n = self.n_nodes
         caps = tab.col("cap")
-        heads = self._ab_heads
+        nn2 = 2 * n
+        if self._ab_heads.size < nn2:
+            self._ab_heads = np.empty(nn2)
+            self._ab_q = np.empty(nn2)
+            self._ab_tmp = np.empty(nn2)
+            self._ab_sat = np.empty(nn2, dtype=bool)
+        heads = self._ab_heads[:nn2]
         heads[:] = self.nic_bw
-        q = self._ab_q
-        tmp = self._ab_tmp
-        sat = self._ab_sat
+        q = self._ab_q[:nn2]
+        tmp = self._ab_tmp[:nn2]
+        sat = self._ab_sat[:nn2]
         ones = self._ab_ones
         if ones.size < 2 * m:
             self._ab_ones = ones = np.ones(max(2 * m, 2 * ones.size))
         # Endpoint matrix: row 0 = tx slot (src), row 1 = rx slot (dst+n).
         ep = np.empty((2, m), dtype=np.int64)
-        ep[0] = tab.col("src")
-        np.add(tab.col("dst"), n, out=ep[1])
+        ep[0] = src
+        np.add(dst, n, out=ep[1])
         idx = np.arange(m)
         out = np.empty(m)
         level = 0.0
@@ -482,7 +580,6 @@ class Fabric:
         count_nonzero = np.count_nonzero
         isfinite = math.isfinite
         inf = np.inf
-        nn2 = 2 * n
         # Plain (unmasked) division: idle channels have head=nic_bw>0 and
         # count 0, giving +inf; saturated channels are parked at
         # head=+inf below, also giving +inf — both fall out of the min

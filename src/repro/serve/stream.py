@@ -28,7 +28,7 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.spec import ClusterSpec
 from repro.core.engine import EngineOptions, SparkSim
 from repro.core.faults import FaultInjector, FaultPlan
-from repro.obs.registry import MetricsRegistry
+from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
 from repro.serve.arrivals import Arrival, poisson_schedule
 from repro.serve.jobgen import JobMix
 from repro.serve.lease import SlotPool
@@ -180,8 +180,12 @@ class StreamServer:
         #: simulator (probe sampling, event sink) when the run starts.
         self.telemetry = telemetry
         if registry is None:
+            # Unobserved streams get the shared disabled registry: the
+            # per-tenant series the result needs are kept in plain lists
+            # (see run()), so a bare `repro serve` allocates no metrics
+            # instruments at all (tests/obs/test_zero_alloc.py).
             registry = telemetry.registry if telemetry is not None \
-                else MetricsRegistry()
+                else NULL_REGISTRY
         self.registry = registry
         #: Simulator event count of the last completed run (bench input).
         self.last_events_dispatched = 0
@@ -224,6 +228,13 @@ class StreamServer:
         m_jobs = {t.name: self.registry.counter(
             "serve.jobs_completed", {"tenant": t.name})
             for t in self.tenants}
+        # The result's per-tenant series live in plain lists, not in the
+        # histograms: with a disabled registry the instruments above are
+        # no-op singletons that retain nothing.
+        lat_values: Dict[str, List[float]] = {t.name: []
+                                              for t in self.tenants}
+        sd_values: Dict[str, List[float]] = {t.name: []
+                                             for t in self.tenants}
 
         def finish(ev: Event, engine: SparkSim, lease, arrival: Arrival,
                    workload: str, scale_gb: float) -> None:
@@ -248,6 +259,8 @@ class StreamServer:
             m_lat[arrival.tenant].observe(outcome.latency)
             m_sd[arrival.tenant].observe(outcome.slowdown)
             m_jobs[arrival.tenant].inc()
+            lat_values[arrival.tenant].append(outcome.latency)
+            sd_values[arrival.tenant].append(outcome.slowdown)
             state["remaining"] -= 1
             if state["remaining"] == 0 and not all_done.triggered:
                 all_done.succeed()
@@ -278,9 +291,9 @@ class StreamServer:
         self.last_events_dispatched = sim.events_dispatched
 
         tenant_values = {
-            t.name: {"latency": list(m_lat[t.name].values),
-                     "slowdown": list(m_sd[t.name].values)}
-            for t in self.tenants if m_lat[t.name].values}
+            t.name: {"latency": list(lat_values[t.name]),
+                     "slowdown": list(sd_values[t.name])}
+            for t in self.tenants if lat_values[t.name]}
         return StreamResult(
             policy=self.policy_name, seed=self.seed,
             arrival_rate=self.arrival_rate, n_jobs=self.n_jobs,

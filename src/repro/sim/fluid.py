@@ -13,12 +13,17 @@ the standard flow-level (fluid) approximation used by network and storage
 simulators: per-packet behaviour is abstracted away but contention,
 fair-sharing, and completion-time dynamics are preserved.
 
-Hot-path notes (see DESIGN.md §8): finished flows are compacted out of
-the flow list in a single order-preserving pass (``list.remove`` per
-completion is O(n²) across a drain), the sorted-cap order feeding
-:func:`fair_share` is cached between events while the flow set is
-unchanged, and same-timestamp reallocations are coalesced behind a
-pending flag exactly as ``Fabric._schedule_realloc`` does.  The
+Hot-path notes (see DESIGN.md §8/§12): the optimized path keeps
+``remaining``/``rate`` in columnar float64 arrays parallel to the flow
+list, so the per-event drain is one C-kernel call
+(:mod:`repro.sim.fastdrain`) or one vectorized NumPy pass instead of a
+Python loop; finished flows are compacted out order-preservingly
+(``list.remove`` per completion is O(n²) across a drain); the
+sorted-cap order feeding :func:`fair_share` is cached between events
+while the flow set is unchanged; same-timestamp reallocations are
+coalesced behind a pending flag exactly as ``Fabric._schedule_realloc``
+does; and :attr:`FluidPipe.load` reads an epoch-cached aggregate
+(O(1) between flow events) instead of rescanning every flow.  The
 pre-optimization code paths are retained behind
 :mod:`repro.sim.perfmode` so ``repro bench --check`` can prove the
 optimized pipe byte-identical.
@@ -29,7 +34,9 @@ from __future__ import annotations
 import math
 from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence
 
-from repro.sim import perfmode
+import numpy as np
+
+from repro.sim import fastdrain, perfmode
 from repro.sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -121,6 +128,30 @@ class FluidPipe:
         # while the flow set is unchanged (None = recompute).
         self._order: Optional[List[int]] = None
         self._caps_cache: List[float] = []
+        # Columnar remaining/rate parallel to ``self.flows`` (optimized
+        # path): the authoritative per-flow counters live here so the
+        # drain is one kernel call; Flow objects mirror at completion
+        # and :meth:`advance` boundaries, like Fabric's NetFlow.
+        self._a_rem = np.empty(16)
+        self._a_rate = np.empty(16)
+        self._fin_buf = np.empty(16, dtype=np.int64)
+        # Sorted-cap order mirrored as int64/float64 arrays for the C
+        # fair-share kernel, rebuilt with the order cache.
+        self._caps_arr = np.empty(0)
+        self._order_arr = np.empty(0, dtype=np.int64)
+        # Raw data addresses for the kernels: computing arr.ctypes.data
+        # allocates a wrapper object per access, so the hot path caches
+        # the integers (refreshed whenever a buffer is reallocated).
+        self._refresh_ptrs()
+        self._p_caps = 0
+        self._p_order = 0
+        # Epoch-cached load aggregates (valid while no flow event has
+        # mutated the columns): total remaining bytes, total rate, and
+        # the relative horizon to the earliest completion.
+        self._sums_valid = False
+        self._rem_sum = 0.0
+        self._rate_sum = 0.0
+        self._drain_horizon = math.inf
         self.bytes_completed = 0.0
 
     # -- public API -------------------------------------------------------
@@ -141,16 +172,47 @@ class FluidPipe:
         Side-effect free: a read never mutates flow state or fires
         completion events (use :meth:`advance` for that).  Flows that
         would already have drained at the current rates contribute zero.
+
+        The optimized path answers from an aggregate cached per flow
+        event (remaining-sum, rate-sum, earliest-completion horizon), so
+        repeated reads between events are O(1) instead of a full scan;
+        only a read past the horizon — where per-flow clamping matters —
+        falls back to one vectorized pass.
         """
+        if perfmode.REFERENCE:
+            dt = self.sim.now - self._last_advance
+            if dt <= 0:
+                return sum(f.remaining for f in self.flows)
+            total = 0.0
+            for f in self.flows:
+                left = f.remaining - f.rate * dt
+                if left > 0.0:
+                    total += left
+            return total
+        n = len(self.flows)
+        if n == 0:
+            return 0.0
+        if not self._sums_valid:
+            rem = self._a_rem[:n]
+            rate = self._a_rate[:n]
+            self._rem_sum = float(np.add.reduce(rem))
+            self._rate_sum = float(np.add.reduce(rate))
+            positive = rate > 0.0
+            if positive.any():
+                self._drain_horizon = float(
+                    (rem[positive] / rate[positive]).min())
+            else:
+                self._drain_horizon = math.inf
+            self._sums_valid = True
         dt = self.sim.now - self._last_advance
         if dt <= 0:
-            return sum(f.remaining for f in self.flows)
-        total = 0.0
-        for f in self.flows:
-            left = f.remaining - f.rate * dt
-            if left > 0.0:
-                total += left
-        return total
+            return self._rem_sum
+        if dt < self._drain_horizon:
+            # Nothing can have clamped to zero yet, so the per-flow
+            # clamp sum collapses to the cached linear form.
+            return self._rem_sum - self._rate_sum * dt
+        return float(np.maximum(
+            self._a_rem[:n] - self._a_rate[:n] * dt, 0.0).sum())
 
     def advance(self) -> None:
         """Apply current rates up to the present, firing any completions.
@@ -160,6 +222,15 @@ class FluidPipe:
         state (rather than the computed :attr:`load`) call this first.
         """
         self._advance()
+        if not perfmode.REFERENCE:
+            # Mirror the authoritative columns back onto the Flow
+            # objects for the observer (the implicit advances leave the
+            # objects at their last completion-boundary values).
+            n = len(self.flows)
+            for f, r, rt in zip(self.flows, self._a_rem[:n],
+                                self._a_rate[:n]):
+                f.remaining = float(r)
+                f.rate = float(rt)
 
     def set_capacity(self, capacity: float) -> None:
         """Change the static capacity (takes effect immediately)."""
@@ -187,6 +258,13 @@ class FluidPipe:
             done.succeed(flow)
             return done
         self._advance()
+        if not perfmode.REFERENCE:
+            n = len(self.flows)
+            if n == self._a_rem.shape[0]:
+                self._grow()
+            self._a_rem[n] = flow.remaining
+            self._a_rate[n] = 0.0
+            self._sums_valid = False
         self.flows.append(flow)
         self._order = None
         if perfmode.REFERENCE:
@@ -194,6 +272,21 @@ class FluidPipe:
         else:
             self._schedule_realloc()
         return done
+
+    def _grow(self) -> None:
+        new_cap = self._a_rem.shape[0] * 2
+        for name in ("_a_rem", "_a_rate"):
+            old = getattr(self, name)
+            bigger = np.empty(new_cap, dtype=old.dtype)
+            bigger[:old.shape[0]] = old
+            setattr(self, name, bigger)
+        self._fin_buf = np.empty(new_cap, dtype=np.int64)
+        self._refresh_ptrs()
+
+    def _refresh_ptrs(self) -> None:
+        self._p_rem = self._a_rem.ctypes.data
+        self._p_rate = self._a_rate.ctypes.data
+        self._p_fin = self._fin_buf.ctypes.data
 
     # -- internals ---------------------------------------------------------
     def _advance(self) -> None:
@@ -206,29 +299,43 @@ class FluidPipe:
         if perfmode.REFERENCE:
             self._advance_reference(dt)
             return
-        # Single order-preserving pass: decrement every counter and
-        # compact survivors down over the holes finished flows leave.
-        # The reference path's list.remove per completion re-scans the
-        # list every time — O(n²) across a full drain.
+        # One decrement-and-compact pass over the columns: the C kernel
+        # (or the vectorized NumPy fallback) replaces the former
+        # per-flow Python loop; both produce bit-identical counters and
+        # the same ascending finished order (see _fastdrain.c).
         flows = self.flows
-        finished: Optional[List[Flow]] = None
-        write = 0
-        for f in flows:
-            f.remaining -= f.rate * dt
-            if f.remaining <= 1e-6:
-                f.remaining = 0.0
-                if finished is None:
-                    finished = [f]
-                else:
-                    finished.append(f)
-            else:
-                flows[write] = f
-                write += 1
-        if finished is None:
+        n = len(flows)
+        self._sums_valid = False
+        drain = fastdrain.RAW_DRAIN
+        k = drain(n, dt, self._p_rem, self._p_rate,
+                  self._p_fin) if drain is not None else -1
+        if k == 0:
             return
-        del flows[write:]
+        if k > 0:
+            fin_list = self._fin_buf[:k].tolist()
+        else:
+            rem = self._a_rem[:n]
+            rem -= self._a_rate[:n] * dt
+            fin_idx = np.flatnonzero(rem <= 1e-6)
+            if fin_idx.size == 0:
+                return
+            fin_list = fin_idx.tolist()
+            if fin_idx.size < n:
+                keep = np.ones(n, dtype=bool)
+                keep[fin_idx] = False
+                survivors = np.flatnonzero(keep)
+                m = n - fin_idx.size
+                self._a_rem[:m] = rem[survivors]
+                self._a_rate[:m] = self._a_rate[:n][survivors]
+        finished = [flows[i] for i in fin_list]
+        if len(fin_list) == n:
+            flows.clear()
+        else:
+            for i in reversed(fin_list):
+                del flows[i]
         self._order = None
         for f in finished:
+            f.remaining = 0.0
             self.bytes_completed += f.size
             f.done.succeed(f)
 
@@ -265,16 +372,54 @@ class FluidPipe:
 
     def _reallocate(self) -> None:
         """Recompute fair-share rates and reschedule the completion timer."""
-        if self.flows:
-            if perfmode.REFERENCE or self._order is None:
+        if perfmode.REFERENCE:
+            self._reallocate_reference()
+            return
+        n = len(self.flows)
+        horizon = math.inf
+        if n:
+            if self._order is None:
                 caps = [f.cap for f in self.flows]
-                order = sorted(range(len(caps)), key=caps.__getitem__)
-                if not perfmode.REFERENCE:
-                    self._caps_cache = caps
-                    self._order = order
+                order = sorted(range(n), key=caps.__getitem__)
+                self._caps_cache = caps
+                self._order = order
+                self._caps_arr = np.array(caps)
+                self._order_arr = np.array(order, dtype=np.int64)
+                self._p_caps = self._caps_arr.ctypes.data
+                self._p_order = self._order_arr.ctypes.data
+            self._sums_valid = False
+            fs = fastdrain.RAW_FAIR
+            if fs is not None:
+                # Fused C fair-share + horizon over the columns; Flow
+                # objects do not mirror per event (advance() syncs them
+                # at observer boundaries).
+                horizon = fs(self.capacity, n, self._p_caps,
+                             self._p_order, self._p_rem, self._p_rate)
             else:
-                caps = self._caps_cache
-                order = self._order
+                rates = fair_share(self.capacity, self._caps_cache,
+                                   self._order)
+                self._a_rate[:n] = rates
+                rate = self._a_rate[:n]
+                positive = rate > 0
+                if positive.any():
+                    # Same per-flow divisions as the reference loop;
+                    # min is order-independent at the bit level.
+                    horizon = float(
+                        (self._a_rem[:n][positive] / rate[positive]).min())
+        self._timer_token += 1
+        token = self._timer_token
+        if math.isfinite(horizon):
+            # Clamp so now+horizon strictly advances the clock even for
+            # near-finished flows (otherwise a sub-ULP horizon respins the
+            # timer at the same timestamp forever).
+            self.sim.schedule_callback(max(horizon, 1e-9),
+                                       self._on_timer, token)
+
+    def _reallocate_reference(self) -> None:
+        """The retained pre-optimization reallocation (perfmode)."""
+        if self.flows:
+            caps = [f.cap for f in self.flows]
+            order = sorted(range(len(caps)), key=caps.__getitem__)
             rates = fair_share(self.capacity, caps, order)
             for f, r in zip(self.flows, rates):
                 f.rate = r
@@ -285,9 +430,6 @@ class FluidPipe:
             if f.rate > 0:
                 horizon = min(horizon, f.remaining / f.rate)
         if math.isfinite(horizon):
-            # Clamp so now+horizon strictly advances the clock even for
-            # near-finished flows (otherwise a sub-ULP horizon respins the
-            # timer at the same timestamp forever).
             self.sim.schedule_callback(max(horizon, 1e-9),
                                        self._on_timer, token)
 

@@ -16,7 +16,8 @@ from repro.bench.scenarios import SCENARIOS, run_scenario
 
 class TestScenarios:
     def test_registry_has_the_macro_scenarios(self):
-        assert set(SCENARIOS) == {"shuffle_wave", "ssd_spill",
+        assert set(SCENARIOS) == {"shuffle_wave", "shuffle_wave_10x",
+                                  "idle_giant", "ssd_spill",
                                   "fig08_job", "node_crash",
                                   "stream_sustained", "timer_churn"}
 
@@ -85,7 +86,7 @@ class TestReportSchema:
         assert path.endswith("BENCH_timer_churn.json")
         with open(path) as fh:
             doc = json.load(fh)
-        assert doc["schema"] == 2
+        assert doc["schema"] == 3
         assert doc["name"] == "timer_churn"
         assert doc["quick"] is True
         for mode in ("optimized", "reference"):
@@ -94,6 +95,8 @@ class TestReportSchema:
             assert run["wall_s"] >= 0
             assert run["events_per_s"] >= 0
             assert len(run["fingerprint_sha256"]) == 64
+        assert doc["optimized"]["kernel_mode"] in ("c", "numpy")
+        assert doc["reference"]["kernel_mode"] == "python"
         assert doc["optimized"]["fingerprint_sha256"] == \
             doc["reference"]["fingerprint_sha256"]
         assert doc["check"] == {"ran": True, "passed": True}

@@ -90,7 +90,8 @@ def test_kernel_matches_numpy_allocator_directly():
         # Kernel wrote tab["rate"]; the NumPy path recomputes from
         # scratch.  They must agree bit for bit.
         if fab._tab.n:
-            expected = fab._assign_rates_numpy()
+            expected = fab._assign_rates_numpy(
+                fab.n_nodes, fab._tab.col("src"), fab._tab.col("dst"))
             assert np.array_equal(expected, fab._tab.col("rate"))
             checked.append(fab._tab.n)
 
@@ -125,12 +126,17 @@ class TestUtilizationAccumulators:
         checked = []
 
         def check():
+            # Authoritative per-flow rates live in the columns (NetFlow
+            # objects no longer mirror rate per reallocation).
+            rates = fab._tab.col("rate")
             for nd in range(4):
                 u = fab.utilization(nd)
-                assert u["tx"] == sum(f.rate for f in fab.flows
-                                      if f.src == nd)
-                assert u["rx"] == sum(f.rate for f in fab.flows
-                                      if f.dst == nd)
+                assert u["tx"] == sum(
+                    float(r) for f, r in zip(fab.flows, rates)
+                    if f.src == nd)
+                assert u["rx"] == sum(
+                    float(r) for f, r in zip(fab.flows, rates)
+                    if f.dst == nd)
             checked.append(True)
 
         sim.schedule_callback(0.01, check)

@@ -1,0 +1,52 @@
+"""Disabled telemetry is *free*: zero registry allocations per run.
+
+The registry contract (obs/registry.py, constraint 1) is that a run
+without telemetry performs no metrics work at all — components request
+instruments unconditionally, but a disabled registry hands back the
+shared singleton, so no Counter/Gauge/Histogram object is ever
+constructed and ``NULL_REGISTRY``'s stores stay empty.  This pins that
+down as a regression test over full macro scenarios: any future code
+path that constructs a real instrument (or worse, a real registry) on
+the no-telemetry path fails here, not in a perf bisect three PRs later.
+"""
+
+import pytest
+
+from repro.bench.scenarios import run_scenario
+from repro.obs import registry as reg
+
+
+@pytest.fixture
+def instrument_counts(monkeypatch):
+    """Count every real instrument construction during the test."""
+    counts = {"Counter": 0, "Gauge": 0, "Histogram": 0}
+    for name in counts:
+        cls = getattr(reg, name)
+        original = cls.__init__
+
+        def spy(self, *args, _name=name, _original=original, **kwargs):
+            counts[_name] += 1
+            _original(self, *args, **kwargs)
+
+        monkeypatch.setattr(cls, "__init__", spy)
+    return counts
+
+
+@pytest.mark.parametrize("scenario", ["shuffle_wave", "stream_sustained"])
+def test_no_telemetry_run_allocates_no_instruments(scenario,
+                                                   instrument_counts):
+    result = run_scenario(scenario, quick=True)  # no telemetry attached
+    assert result.events > 0  # the run actually did work
+    assert instrument_counts == {"Counter": 0, "Gauge": 0, "Histogram": 0}
+    # The shared disabled registry accumulated nothing either.
+    assert reg.NULL_REGISTRY.counters == {}
+    assert reg.NULL_REGISTRY.gauges == {}
+    assert reg.NULL_REGISTRY.histograms == {}
+
+
+def test_telemetry_run_does_allocate(instrument_counts):
+    """The spy itself works: an instrumented run constructs instruments."""
+    from repro.obs.telemetry import Telemetry
+    run_scenario("stream_sustained", quick=True,
+                 telemetry=Telemetry(probe_period=0.25))
+    assert instrument_counts["Counter"] > 0

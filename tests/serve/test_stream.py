@@ -90,7 +90,7 @@ class TestTelemetry:
             total += int(n.value)
         assert total == 6
 
-    def test_stats_come_from_the_registry_histograms(self):
+    def test_stats_match_the_result_series(self):
         res = server().run()
         stats = res.tenant_stats()
         for t, st in stats.items():
