@@ -1,0 +1,34 @@
+"""Bench: the spill-vs-wait ablation (DESIGN.md §13).
+
+Shape assertions: with a full heap, rigid and elastic admission coincide
+exactly; under scarcity, rigid admission slows the job monotonically
+while the elastic policy claws time back by shrinking tasks and spilling.
+"""
+
+from _common import BENCH_SCALE, BENCH_SEEDS, run_once
+
+from repro.experiments.ablation_spill import FRACTIONS, run as run_spill
+
+
+def test_elastic_beats_rigid_under_scarcity(benchmark):
+    result = run_once(benchmark, run_spill, scale=BENCH_SCALE,
+                      seeds=BENCH_SEEDS)
+    text = result.render()
+    rows = {(r[0], r[1]): r for r in result.rows}
+    for mechanism in ("stock", "elb", "cad"):
+        # No scarcity: elastic must be a no-op (identical schedule).
+        full = rows[(mechanism, 1.0)]
+        assert full[2] == full[3], text          # rigid_s == elastic_s
+        assert full[5] == 0.0, text              # no spill
+        assert full[6] == 0.0, text              # nothing shrunk
+        # Rigid admission: less heap is never faster.
+        rigid = [rows[(mechanism, f)][2] for f in sorted(FRACTIONS,
+                                                         reverse=True)]
+        assert rigid == sorted(rigid), text
+    # The headline claim: at the deepest scarcity point the elastic
+    # policy beats waiting, paying spill I/O for restored concurrency.
+    worst = min(FRACTIONS)
+    for mechanism in ("stock", "elb", "cad"):
+        row = rows[(mechanism, worst)]
+        assert row[4] > 1.0, text                # elastic_gain
+        assert row[6] > 0, text                  # tasks actually shrunk

@@ -312,6 +312,51 @@ def _fig08_job(quick: bool,
                  "n_tasks": float(len(tasks))})
 
 
+def _spill_pressure(quick: bool,
+                    telemetry: Optional[Telemetry] = None
+                    ) -> ScenarioResult:
+    """GroupBy under executor-heap scarcity with elastic admission
+    (DESIGN.md §13).
+
+    Heaps at 40% of the Spark allotment force the memory gate to shrink
+    tasks; shrunk attempts spill through the SSD page-cache/device path
+    alongside the shuffle traffic.  The fingerprint covers the full task
+    schedule, per-attempt heap decisions, and the spill counters, so
+    ``--check`` proves memory elasticity deterministic and engine-mode
+    independent.
+    """
+    from repro.core.memory import MemoryConfig
+    n_nodes = 4 if quick else 8
+    data = (4 if quick else 24) * GB
+    spec = groupby_spec(data, shuffle_store="ssd")
+    options = EngineOptions(seed=13, memory=MemoryConfig(
+        mem_frac=0.4, elastic=True, spill_store="ssd",
+        spill_ratio=0.5, spill_gamma=1.5))
+    cluster = Cluster(hyperion(n_nodes),
+                      speed_model=LognormalSpeed(sigma=0.18),
+                      seed=options.seed)
+    result = run_job(spec, options=options, cluster=cluster,
+                     telemetry=telemetry)
+    mem = result.memory
+    tasks = tuple(sorted(
+        (t.phase, t.task_id, t.node, t.started_at, t.finished_at)
+        for t in result.all_tasks()))
+    fingerprint = (result.job_time,
+                   tuple(sorted(result.dissection().items())),
+                   tasks,
+                   (mem.tasks_shrunk, mem.grants_declined,
+                    mem.min_granted_frac, mem.spill_events,
+                    mem.spill_bytes_written, mem.spill_bytes_read),
+                   tuple(float(x) for x in result.node_intermediate))
+    return ScenarioResult(
+        events=cluster.sim.events_dispatched,
+        sim_time=result.job_time,
+        fingerprint=fingerprint,
+        metrics={"job_time_s": result.job_time,
+                 "tasks_shrunk": float(mem.tasks_shrunk),
+                 "spill_gb": mem.spill_bytes_written / GB})
+
+
 def _node_crash(quick: bool,
                 telemetry: Optional[Telemetry] = None) -> ScenarioResult:
     """Mid-store node crash, lineage recovery, restart (DESIGN.md §9).
@@ -435,6 +480,7 @@ SCENARIOS: Dict[str, Callable[[bool], ScenarioResult]] = {
     "idle_giant": _idle_giant,
     "ssd_spill": _ssd_spill,
     "fig08_job": _fig08_job,
+    "spill_pressure": _spill_pressure,
     "node_crash": _node_crash,
     "stream_sustained": _stream_sustained,
     "timer_churn": _timer_churn,

@@ -6,13 +6,14 @@ Subcommands::
     python -m repro run --workload groupby --data-gb 40 [--nodes N]
         [--store ramdisk|ssd|lustre] [--elb] [--cad] [--delay-scheduling]
         [--speculation] [--failure-rate P] [--crash NODE@T[:RESTART_T]]...
+        [--mem-frac F] [--mem-elastic]
         [--seed S] [--gantt] [--csv FILE] [--json FILE]
         [--trace-out TRACE.json] [--metrics-out RUNLOG.jsonl]
         [--probe-period S]
     python -m repro serve --arrival-rate R --jobs N
         [--tenants name[:weight[:quota]],...] [--policy fifo|fair]
         [--base-gb G] [--nodes N] [--seed S] [--handoff-delay S]
-        [--elb] [--cad] [--json FILE]
+        [--elb] [--cad] [--mem-frac F] [--mem-elastic] [--json FILE]
     python -m repro report RUNLOG.jsonl  (per-phase utilization summary)
     python -m repro bench [--quick] [--check] [--baseline]
         [--scenario NAME]... [--out-dir DIR] [--profile] [--compare OLD]
@@ -90,6 +91,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                      metavar="NODE@T[:RESTART_T]",
                      help="crash NODE at sim time T, optionally restarting "
                           "it (empty) at RESTART_T; repeatable")
+    run.add_argument("--mem-frac", type=float, default=None,
+                     help="manage executor memory at this fraction of the "
+                          "node's Spark heap (0 < f <= 1; shrunk heaps "
+                          "spill); default: memory unmanaged")
+    run.add_argument("--mem-elastic", action="store_true",
+                     help="with managed memory, launch tasks shrunk "
+                          "instead of declining offers (implies "
+                          "--mem-frac 1.0 unless given)")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--speed-sigma", type=float, default=0.18)
     run.add_argument("--gantt", action="store_true",
@@ -133,6 +142,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                        help="enable ELB inside every job")
     serve.add_argument("--cad", action="store_true",
                        help="enable CAD inside every job")
+    serve.add_argument("--mem-frac", type=float, default=None,
+                       help="share one managed executor-heap pool (this "
+                            "fraction of each node's Spark heap) across "
+                            "all concurrent jobs; default: unmanaged")
+    serve.add_argument("--mem-elastic", action="store_true",
+                       help="with managed memory, launch tasks shrunk "
+                            "instead of declining offers")
     serve.add_argument("--json", metavar="FILE",
                        help="write the full stream result as JSON")
 
@@ -226,6 +242,18 @@ def _describe(args) -> int:
     return 0
 
 
+def _memory_config(args):
+    """``--mem-frac`` / ``--mem-elastic`` → a MemoryConfig (or None)."""
+    if args.mem_frac is None and not args.mem_elastic:
+        return None
+    from repro.core.memory import MemoryConfig
+    frac = args.mem_frac if args.mem_frac is not None else 1.0
+    if not 0.0 < frac <= 1.0:
+        raise SystemExit(
+            f"--mem-frac must be in (0, 1], got {frac:g}")
+    return MemoryConfig(mem_frac=frac, elastic=args.mem_elastic)
+
+
 def _parse_crashes(specs: Sequence[str]) -> Optional[FaultPlan]:
     """``NODE@T`` or ``NODE@T:RESTART_T`` → a :class:`FaultPlan`.
 
@@ -286,7 +314,8 @@ def _serve(args) -> int:
         policy=args.policy, base_gb=args.base_gb, seed=args.seed,
         moving_delay=args.handoff_delay,
         cluster_spec=hyperion(args.nodes),
-        options=EngineOptions(elb=args.elb, cad=args.cad))
+        options=EngineOptions(elb=args.elb, cad=args.cad,
+                              memory=_memory_config(args)))
     result = server.run()
     print("\n".join(result.summary_lines()))
     if args.json:
@@ -317,7 +346,8 @@ def _run(args) -> int:
     options = EngineOptions(
         delay_scheduling=args.delay_scheduling, elb=args.elb, cad=args.cad,
         speculation=args.speculation, task_failure_rate=args.failure_rate,
-        seed=args.seed, fault_plan=_parse_crashes(args.crash))
+        seed=args.seed, fault_plan=_parse_crashes(args.crash),
+        memory=_memory_config(args))
     telemetry = None
     if args.trace_out or args.metrics_out:
         from repro.obs.telemetry import Telemetry

@@ -54,6 +54,25 @@ class NodeSpec:
             raise ValueError(f"cores must be >= 1, got {self.cores}")
         if self.ram_bytes <= 0:
             raise ValueError("ram_bytes must be positive")
+        if self.ramdisk_usable_bytes > self.ramdisk_bytes:
+            raise ValueError(
+                f"ramdisk_usable_bytes ({self.ramdisk_usable_bytes / GB:g} "
+                f"GB) exceeds the RAMDisk itself ({self.ramdisk_bytes / GB:g}"
+                f" GB): usable space is what remains after inputs and OS "
+                f"overhead, it cannot outgrow the device")
+        if self.ramdisk_bytes + self.spark_mem_bytes > self.ram_bytes:
+            raise ValueError(
+                f"ramdisk_bytes + spark_mem_bytes "
+                f"({self.ramdisk_bytes / GB:g} + "
+                f"{self.spark_mem_bytes / GB:g} GB) exceed ram_bytes "
+                f"({self.ram_bytes / GB:g} GB): the RAMDisk and the Spark "
+                f"heap are both carved out of the node's physical RAM")
+        if self.page_cache_dirty_bytes > self.page_cache_bytes:
+            raise ValueError(
+                f"page_cache_dirty_bytes ({self.page_cache_dirty_bytes / GB:g}"
+                f" GB) exceeds page_cache_bytes "
+                f"({self.page_cache_bytes / GB:g} GB): the dirty throttle "
+                f"is a limit on cached pages, it cannot exceed the cache")
 
 
 @dataclass(frozen=True)

@@ -16,13 +16,16 @@ Two execution backends share one job model:
 from repro.core.faults import (ExecutorLoss, FaultPlan, NodeCrash,
                                ShuffleOutputLoss, StorageDegradation)
 from repro.core.jobspec import JobSpec
-from repro.core.metrics import (FailureRecord, JobResult, PhaseMetrics,
-                                RecoveryMetrics, TaskRecord)
+from repro.core.memory import (ClusterMemory, MemoryConfig, MemoryGate,
+                               SpillCurve)
+from repro.core.metrics import (FailureRecord, JobResult, MemoryMetrics,
+                                PhaseMetrics, RecoveryMetrics, TaskRecord)
 from repro.core.engine import EngineOptions, SparkSim, run_job
 from repro.core.rdd import RDD
 from repro.core.local import LocalContext
 
 __all__ = [
+    "ClusterMemory",
     "EngineOptions",
     "ExecutorLoss",
     "FailureRecord",
@@ -30,12 +33,16 @@ __all__ = [
     "JobResult",
     "JobSpec",
     "LocalContext",
+    "MemoryConfig",
+    "MemoryGate",
+    "MemoryMetrics",
     "NodeCrash",
     "PhaseMetrics",
     "RDD",
     "RecoveryMetrics",
     "ShuffleOutputLoss",
     "SparkSim",
+    "SpillCurve",
     "StorageDegradation",
     "TaskRecord",
     "run_job",

@@ -23,8 +23,10 @@ from repro.core.cad import CongestionAwareDispatcher
 from repro.core.elb import EnhancedLoadBalancer
 from repro.core.faults import FaultInjector, FaultPlan, ShuffleAvailability
 from repro.core.jobspec import JobSpec
-from repro.core.metrics import (FailureRecord, JobResult, PhaseMetrics,
-                                RecoveryMetrics, TaskRecord)
+from repro.core.memory import (ClusterMemory, MemoryConfig, MemoryGate,
+                               SpillCurve)
+from repro.core.metrics import (FailureRecord, JobResult, MemoryMetrics,
+                                PhaseMetrics, RecoveryMetrics, TaskRecord)
 from repro.core.policies import (DelayScheduling, LocalityFirstPolicy,
                                  SchedulingPolicy)
 from repro.core.scheduler import StageRunner
@@ -72,6 +74,10 @@ class EngineOptions:
     #: Deterministic schedule of node crashes / executor losses / storage
     #: degradations (DESIGN.md §9); ``None`` disables fault machinery.
     fault_plan: Optional[FaultPlan] = None
+    #: Memory-elasticity configuration (DESIGN.md §13); ``None`` leaves
+    #: memory unmanaged — no gates, no spill, and (being the default)
+    #: every historical fingerprint byte-identical.
+    memory: Optional[MemoryConfig] = None
 
     def with_(self, **kw) -> "EngineOptions":
         return replace(self, **kw)
@@ -85,7 +91,8 @@ class SparkSim:
                  telemetry: Optional[Telemetry] = None,
                  job_tag: str = "",
                  lease: Optional[object] = None,
-                 injector: Optional[FaultInjector] = None) -> None:
+                 injector: Optional[FaultInjector] = None,
+                 memory: Optional[ClusterMemory] = None) -> None:
         self.cluster = cluster
         self.sim = cluster.sim
         self.spec = spec
@@ -162,6 +169,29 @@ class SparkSim:
         self._recovery_started_at = 0.0
         self._store_started = False
         self._owns_injector = False
+        # -- memory elasticity (inert unless options.memory is set) --
+        if memory is not None and self.options.memory is None:
+            raise ValueError(
+                "SparkSim: memory= (a shared ClusterMemory) requires "
+                "options.memory to be set — a managed heap with no "
+                "MemoryConfig has no spill curve or admission mode")
+        self._mem_cfg: Optional[MemoryConfig] = self.options.memory
+        self._memory: Optional[ClusterMemory] = None
+        self._ideal_heap = 0.0
+        self._gates: List[MemoryGate] = []
+        self._mem_gate: Optional[MemoryGate] = None
+        #: partition -> (node, bytes) reserved in the cache region.
+        self._cache_mem: Dict[int, tuple] = {}
+        self._spill_written = 0.0
+        self._spill_read = 0.0
+        self._spill_events = 0
+        if self._mem_cfg is not None:
+            node_spec = cluster.spec.node
+            self._memory = memory if memory is not None else ClusterMemory(
+                n, self._mem_cfg.mem_frac * node_spec.spark_mem_bytes)
+            self._ideal_heap = spec.task_heap_bytes if \
+                spec.task_heap_bytes is not None else \
+                node_spec.spark_mem_bytes / node_spec.cores
         if injector is not None:
             # Shared injector: one cluster-level fault schedule hitting
             # every concurrent job (the serve layer).  The injector's
@@ -188,6 +218,8 @@ class SparkSim:
                                            spec.shuffle_store)
             obs_wiring.register_engine(self.metrics, self)
             obs_wiring.register_cluster(self.metrics, cluster)
+            if self._memory is not None:
+                obs_wiring.register_memory(self.metrics, self._memory)
             self.telemetry.bind(self.sim)
 
     # -- setup -------------------------------------------------------------------
@@ -220,10 +252,29 @@ class SparkSim:
         return {"slots": self.lease.slots,
                 "slot_listener": self.lease.slot_freed}
 
+    def _memory_kwargs(self) -> dict:
+        """Fresh per-stage MemoryGate (empty when memory is unmanaged).
+
+        Call *before* building the stage's tasks: spill wrappers close
+        over the gate to look up the live attempt's granted fraction.
+        """
+        if self._memory is None:
+            self._mem_gate = None
+            return {}
+        cfg = self._mem_cfg
+        gate = MemoryGate(self._memory, self._ideal_heap,
+                          elastic=cfg.elastic,
+                          min_task_frac=cfg.min_task_frac)
+        self._mem_gate = gate
+        self._gates.append(gate)
+        return {"memory": gate}
+
     def _launch_stage(self, runner: StageRunner) -> Event:
         self._active_runner = runner
         if self.lease is not None:
             self.lease.attach(runner)
+        if runner.memory is not None:
+            runner.memory.attach(runner)
         return runner.run()
 
     def _policy(self) -> SchedulingPolicy:
@@ -276,13 +327,27 @@ class SparkSim:
                 min(t.queued_at for t in self._recovery_records),
                 max(t.finished_at for t in self._recovery_records),
                 list(self._recovery_records))
+        memory = None
+        if self._memory is not None:
+            memory = MemoryMetrics(
+                heap_bytes=self._memory.heap_bytes,
+                ideal_task_heap=self._ideal_heap,
+                elastic=self._mem_cfg.elastic,
+                tasks_shrunk=sum(g.tasks_shrunk for g in self._gates),
+                grants_declined=sum(g.declines for g in self._gates),
+                min_granted_frac=min(
+                    (g.min_granted_frac for g in self._gates), default=1.0),
+                spill_events=self._spill_events,
+                spill_bytes_written=self._spill_written,
+                spill_bytes_read=self._spill_read)
         result = JobResult(job_name=self.spec.name, job_time=job_time,
                            phases=self._phases,
                            node_intermediate=np.array(self.node_intermediate),
                            node_task_counts=self.node_task_counts.copy(),
                            seed=self.options.seed,
                            failures=list(self._failure_log),
-                           recovery=self.recovery)
+                           recovery=self.recovery,
+                           memory=memory)
         if self.telemetry is not None:
             self.telemetry.finish(result)
             if self._capture is not None:
@@ -311,6 +376,12 @@ class SparkSim:
         for (node, store, fid), nbytes in self._vol_files.items():
             self.cluster.nodes[node].volume(store).delete(nbytes, fid)
         self._vol_files.clear()
+        if self._memory is not None:
+            # Drop the finished job's cached partitions from the shared
+            # pool's storage region (the executor released them).
+            for node, nbytes in self._cache_mem.values():
+                self._memory.release_cache(node, nbytes)
+            self._cache_mem.clear()
         for fid in self._lustre_files:
             self.cluster.lustre.unlink(fid)
         self._lustre_files.clear()
@@ -375,6 +446,7 @@ class SparkSim:
                                     spec.n_map_tasks,
                                     spec.compute_noise_sigma)
         cached = iteration > 0 and spec.cache_input
+        mem_kwargs = self._memory_kwargs()
         tasks = []
         for i in range(spec.n_map_tasks):
             size = self._split_size(i)
@@ -388,7 +460,9 @@ class SparkSim:
             elif spec.input_source == "hdfs":
                 preferred = tuple(self._blocks[i].locations)
             body = self._with_failures(
-                self._compute_body(i, size, noise[i], iteration),
+                self._with_spill(
+                    self._compute_body(i, size, noise[i], iteration),
+                    "compute", i, size),
                 f"compute-{iteration}", i)
             tasks.append(SimTask(task_id=i, phase="compute", body=body,
                                  preferred=preferred, nbytes=size))
@@ -403,6 +477,13 @@ class SparkSim:
                 self._cache_locations[task.task_id] = node
                 self._partition_intermediate[task.task_id] = inter
                 self._logical_of[task.task_id] = node
+                if self._memory is not None and spec.cache_input:
+                    # The cached RDD partition occupies the node's storage
+                    # region (Spark unified memory: evictable, so it never
+                    # gates execution admission — tracked for telemetry
+                    # and serve-layer placement only).
+                    self._memory.reserve_cache(node, task.bytes)
+                    self._cache_mem[task.task_id] = (node, task.bytes)
 
         runner = StageRunner(self.sim, self.cluster.n_nodes,
                              self.cluster.spec.node.cores, tasks,
@@ -413,6 +494,7 @@ class SparkSim:
                              liveness=self._liveness,
                              failure_log=self._failure_log,
                              metrics=self.metrics,
+                             **mem_kwargs,
                              **self._stage_kwargs())
         return self._launch_stage(runner)
 
@@ -473,6 +555,9 @@ class SparkSim:
             outputs.extend((node, per) for _ in range(count))
         noise = self._noise_factors("store-noise", len(outputs),
                                     spec.store_noise_sigma)
+        # Storing tasks hold heap (the gate applies) but stream straight
+        # from memory-resident intermediates to storage — no spill curve.
+        mem_kwargs = self._memory_kwargs()
         tasks = [SimTask(task_id=k, phase="store",
                          body=self._with_failures(
                              self._store_body(node, nbytes, noise[k]),
@@ -501,6 +586,7 @@ class SparkSim:
                              liveness=self._liveness,
                              failure_log=self._failure_log,
                              metrics=self.metrics,
+                             **mem_kwargs,
                              **self._stage_kwargs())
         return self._launch_stage(runner)
 
@@ -560,9 +646,13 @@ class SparkSim:
                          if self._availability is not None else None,
                          file_tag=self.job_tag)
         total_per_reducer = float(self.node_store_bytes.sum()) / n_reducers
+        mem_kwargs = self._memory_kwargs()
         tasks = [SimTask(task_id=r, phase="fetch",
                          body=self._with_failures(
-                             fetch_body(plan, r, noise[r]), "fetch", r),
+                             self._with_spill(
+                                 fetch_body(plan, r, noise[r]),
+                                 "fetch", r, total_per_reducer),
+                             "fetch", r),
                          nbytes=total_per_reducer)
                  for r in range(n_reducers)]
         runner = StageRunner(self.sim, self.cluster.n_nodes,
@@ -573,6 +663,7 @@ class SparkSim:
                              liveness=self._liveness,
                              failure_log=self._failure_log,
                              metrics=self.metrics,
+                             **mem_kwargs,
                              **self._stage_kwargs())
         return self._launch_stage(runner)
 
@@ -590,6 +681,9 @@ class SparkSim:
 
     def _finish_stage(self) -> None:
         runner, self._active_runner = self._active_runner, None
+        if runner is not None and runner.memory is not None:
+            runner.memory.detach()
+        self._mem_gate = None
         if runner is not None and self.lease is not None:
             self.lease.detach(runner)
         if runner is None or self.recovery is None:
@@ -608,6 +702,9 @@ class SparkSim:
                       if loc == node)
         for i in lost:
             del self._cache_locations[i]
+            held = self._cache_mem.pop(i, None)
+            if held is not None:
+                self._memory.release_cache(held[0], held[1])
         self.node_intermediate[node] = 0.0
         self.node_task_counts[node] = 0
         if self.node_store_bytes[node] > 0:
@@ -807,6 +904,74 @@ class SparkSim:
         return SpeculativeExecution(
             quantile=self.options.speculation_quantile,
             multiplier=self.options.speculation_multiplier)
+
+    def _with_spill(self, body_factory, phase: str, task_id: int,
+                    working_set: float):
+        """Wrap a task body with spill I/O when launched below its ideal
+        heap (DESIGN.md §13).
+
+        A shrunk attempt spills ``SpillCurve(working_set)`` bytes: it
+        writes them to the node-local spill store and reads them back
+        (the external-merge pass), through the same PageCache / device
+        paths as shuffle traffic — spill honestly contends for bandwidth,
+        dirties the page cache, and wears the SSD.  The spill file is
+        deleted when the attempt finishes, so spills cost bandwidth and
+        GC pressure, not permanent capacity.  Applied *inside*
+        ``_with_failures`` so failing attempts (which die at launch)
+        never spill.  Identity when memory is unmanaged, and a no-op for
+        full-heap attempts — at ``mem_frac=1.0`` nothing ever shrinks,
+        keeping fingerprints byte-identical.
+        """
+        if self._memory is None or working_set <= 0:
+            return body_factory
+        gate = self._mem_gate
+        assert gate is not None, "_with_spill before _memory_kwargs()"
+        cfg = self._mem_cfg
+        curve = SpillCurve(working_set, ratio=cfg.spill_ratio,
+                           gamma=cfg.spill_gamma)
+        cluster = self.cluster
+
+        def factory(node: int):
+            return body(node)
+
+        def body(node: int):
+            inner = body_factory(node)
+            frac = gate.frac_of(task_id, node)
+            spilled = curve.spilled_bytes(frac)
+            if spilled <= 0:
+                # Full heap: delegate untouched (identical event trace).
+                yield from inner
+                return
+            vol = cluster.nodes[node].volume(cfg.spill_store)
+            # Node in the id: a speculative twin must not share (or
+            # delete) the original attempt's spill file.
+            fid = ("spill", self.job_tag, phase, task_id, node)
+            self._spill_events += 1
+            self._spill_written += spilled
+            self._spill_read += spilled
+            if self.metrics.enabled:
+                self.metrics.counter("mem.spill_bytes_written").inc(spilled)
+                self.metrics.counter("mem.spill_bytes_read").inc(spilled)
+            if self.sim._tracing:
+                self.sim.trace("spill", phase=phase, task=task_id,
+                               node=node, bytes=spilled, frac=frac)
+            # Run the base attempt, then pay the overflow: write it out
+            # and read it back for the external-merge pass.  The claim
+            # in _vol_files covers attempts interrupted mid-spill (node
+            # crash): cleanup() reclaims what the happy path deletes.
+            yield from inner
+            key = (node, cfg.spill_store, fid)
+            self._vol_files[key] = self._vol_files.get(key, 0.0) + spilled
+            yield vol.write(spilled, fid)
+            yield vol.read(spilled, fid)
+            vol.delete(spilled, fid)
+            left = self._vol_files.get(key, 0.0) - spilled
+            if left > 1e-9:
+                self._vol_files[key] = left
+            else:
+                self._vol_files.pop(key, None)
+
+        return factory
 
     def _with_failures(self, body_factory, stream: str, task_id: int):
         """Wrap a task body factory with attempt-failure injection.

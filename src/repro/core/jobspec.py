@@ -68,6 +68,10 @@ class JobSpec:
     compute_noise_sigma: float = 0.08
     #: Extra lognormal noise on storing-task service (SSD placement etc.).
     store_noise_sigma: float = 0.10
+    #: Ideal per-task executor heap; ``None`` derives it from the node
+    #: spec (``spark_mem_bytes / cores`` — one full heap share per core).
+    #: Only consulted when the run manages memory (EngineOptions.memory).
+    task_heap_bytes: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.input_bytes < 0:
@@ -90,6 +94,8 @@ class JobSpec:
                 self.shuffle_store not in (None, "lustre"):
             raise ValueError(
                 "lustre fetch modes require shuffle_store='lustre'")
+        if self.task_heap_bytes is not None and self.task_heap_bytes <= 0:
+            raise ValueError("task_heap_bytes must be positive when set")
 
     @property
     def n_map_tasks(self) -> int:

@@ -39,6 +39,7 @@ from repro.core.task import SimTask, TaskQueue
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.faults import NodeLiveness
+    from repro.core.memory import MemoryGate
     from repro.sim.core import Simulator
 
 __all__ = ["StageRunner", "StageFailed"]
@@ -63,12 +64,20 @@ class StageRunner:
                  failure_log: Optional[List[FailureRecord]] = None,
                  metrics: Optional[MetricsRegistry] = None,
                  slots: Optional[Sequence[int]] = None,
-                 slot_listener: Optional[Callable[[int], None]] = None
+                 slot_listener: Optional[Callable[[int], None]] = None,
+                 memory: Optional["MemoryGate"] = None
                  ) -> None:
         self.sim = sim
         self.n_nodes = n_nodes
         self.policy = policy
         self.throttler = throttler
+        #: Memory admission gate (DESIGN.md §13); ``None`` = unmanaged.
+        #: Same offer/decline integration points as the CAD throttler:
+        #: consulted per node in the offer sweep, notified at launch and
+        #: at attempt exit.  Declines are re-offered by completions here
+        #: and by heap releases anywhere (the gate subscribes to the
+        #: shared ClusterMemory when the engine attaches it).
+        self.memory = memory
         self.liveness = liveness
         self.failure_log = failure_log
         #: Pinned tasks abandoned because their node died with their data.
@@ -324,6 +333,14 @@ class StageRunner:
                             self.sim.trace("throttle", node=node,
                                            reason="concurrency")
                     continue
+                if self.memory is not None and \
+                        not self.memory.can_launch(node):
+                    # Not enough free heap for a launch (rigid: one ideal
+                    # heap; elastic: the shrink floor).  Re-offered by a
+                    # completion here or a heap release anywhere.
+                    if self.sim._tracing:
+                        self.sim.trace("mem-decline", node=node)
+                    continue
                 task = self.policy.select(node, self.queue, now)
                 if task is None:
                     if self.sim._tracing:
@@ -366,6 +383,9 @@ class StageRunner:
         now = self.sim.now
         while True:
             free = self._free_nodes()
+            if self.memory is not None:
+                # Backup copies obey the memory gate like any launch.
+                free = [n for n in free if self.memory.can_launch(n)]
             if not free:
                 break
             straggler = self._pick_straggler(now)
@@ -442,6 +462,8 @@ class StageRunner:
             self._m_spec.inc()
         if self.throttler is not None:
             self.throttler.on_launch(node, self.sim.now)
+        if self.memory is not None:
+            self.memory.on_launch(task, node)
         if self.sim._tracing:
             self.sim.trace("launch", task=task.task_id, node=node,
                            speculative=speculative)
@@ -470,6 +492,8 @@ class StageRunner:
         except TaskAttemptFailure:
             failed = True
         finally:
+            if self.memory is not None:
+                self.memory.on_release(task, node)
             self._release_slot(node)
             self._forget_attempt(task.task_id, node, started)
 
@@ -591,6 +615,14 @@ class StageRunner:
         if any(self._owed_slots.values()):
             snap["owed_slots"] = {n: k for n, k in self._owed_slots.items()
                                   if k > 0}
+        if self.memory is not None:
+            mem = self.memory.memory
+            snap["memory"] = {
+                "heap_bytes": mem.heap_bytes,
+                "exec_used": list(mem.exec_used),
+                "exec_count": list(mem.exec_count),
+                "declines": self.memory.declines,
+            }
         violation = self.wakeup_invariant_violation()
         if violation is not None:
             snap["invariant_violation"] = violation
@@ -619,6 +651,12 @@ class StageRunner:
             return None  # a running attempt's exit always re-offers
         if self._retry_deadline is not None:
             return None  # an armed wakeup timer will re-offer
+        if self.memory is not None and self.memory.memory.has_outstanding():
+            # Another job's task holds heap: its release notifies our
+            # gate, which re-offers.  (With nothing outstanding anywhere
+            # the gate's progress guarantee admits, so a memory decline
+            # can never be the last word.)
+            return None
         pending = [t.task_id for t in self.queue.pending()]
         return (f"pending tasks {pending} with free slots on nodes {free} "
                 f"but no armed wakeup and no running attempts")

@@ -19,13 +19,15 @@ class SimTask:
     """
 
     __slots__ = ("task_id", "phase", "body", "preferred", "pinned",
-                 "bytes", "queued_at", "taken", "local")
+                 "bytes", "queued_at", "taken", "local", "heap_bytes",
+                 "mem_frac")
 
     def __init__(self, task_id: int, phase: str,
                  body: Callable[[int], object],
                  preferred: Tuple[int, ...] = (),
                  pinned: Optional[int] = None,
-                 nbytes: float = 0.0) -> None:
+                 nbytes: float = 0.0,
+                 heap_bytes: Optional[float] = None) -> None:
         self.task_id = task_id
         self.phase = phase
         self.body = body
@@ -35,6 +37,12 @@ class SimTask:
         self.queued_at = 0.0
         self.taken = False
         self.local: Optional[bool] = None
+        #: Ideal executor heap this task declares (``None`` = the stage's
+        #: default); a MemoryGate may launch it with less.
+        self.heap_bytes = heap_bytes
+        #: Heap fraction the live attempt was actually granted (set by
+        #: the MemoryGate at launch; 1.0 when memory is unmanaged).
+        self.mem_frac = 1.0
 
     def __repr__(self) -> str:  # pragma: no cover
         where = f" pin={self.pinned}" if self.pinned is not None else ""

@@ -16,6 +16,7 @@ from typing import Callable, Dict
 
 from repro.experiments import (
     ablation_memory_resident,
+    ablation_spill,
     fig05_input_location,
     fig07_intermediate_lustre,
     fig08_ssd,
@@ -43,6 +44,7 @@ MODULES: Dict[str, ModuleType] = {
     "fig14": fig14_cad,
     # Extras beyond the paper's figures:
     "ablation-mem": ablation_memory_resident,
+    "ablation-spill": ablation_spill,
     "stream-load": stream_load,
 }
 
@@ -59,6 +61,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "fig14": fig14_cad.run,
     # Extras beyond the paper's figures:
     "ablation-mem": ablation_memory_resident.run,
+    "ablation-spill": ablation_spill.run,
     "stream-load": stream_load.run,
 }
 

@@ -23,12 +23,13 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.cluster import Cluster
     from repro.core.cad import CongestionAwareDispatcher
     from repro.core.elb import EnhancedLoadBalancer
+    from repro.core.memory import ClusterMemory
     from repro.net.fabric import Fabric
     from repro.storage.device import BlockDevice
 
 __all__ = ["register_engine", "register_cluster", "register_elb",
            "register_cad", "register_fabric", "register_device",
-           "register_pipe"]
+           "register_memory", "register_pipe"]
 
 
 def register_engine(registry: MetricsRegistry, engine) -> None:
@@ -81,6 +82,19 @@ def register_cad(registry: MetricsRegistry,
                    lambda: float(sum(cad._in_flight.values())))
     registry.gauge("cad.increases", lambda: float(cad.increases))
     registry.gauge("cad.decreases", lambda: float(cad.decreases))
+
+
+def register_memory(registry: MetricsRegistry,
+                    memory: "ClusterMemory") -> None:
+    """Per-node executor-heap pressure (DESIGN.md §13): free heap plus
+    the execution / storage (cache) region reservations."""
+    for node in range(memory.n_nodes):
+        registry.gauge("mem.heap_free",
+                       lambda i=node: memory.free(i), {"node": node})
+        registry.gauge("mem.exec_reserved",
+                       lambda i=node: memory.exec_used[i], {"node": node})
+        registry.gauge("mem.cache_reserved",
+                       lambda i=node: memory.cache_used[i], {"node": node})
 
 
 def register_fabric(registry: MetricsRegistry, fabric: "Fabric") -> None:

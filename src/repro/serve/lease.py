@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.memory import ClusterMemory
     from repro.core.scheduler import StageRunner
     from repro.serve.policy import InterJobPolicy
     from repro.sim.core import Simulator
@@ -121,7 +122,8 @@ class SlotPool:
     """Owns the cluster's cores; leases them to jobs per the policy."""
 
     def __init__(self, sim: "Simulator", n_nodes: int, cores_per_node: int,
-                 policy: "InterJobPolicy", moving_delay: float = 0.0) -> None:
+                 policy: "InterJobPolicy", moving_delay: float = 0.0,
+                 memory: Optional["ClusterMemory"] = None) -> None:
         if moving_delay < 0:
             raise ValueError(f"moving_delay must be >= 0, got {moving_delay}")
         self.sim = sim
@@ -130,6 +132,10 @@ class SlotPool:
         self.free: List[int] = [cores_per_node] * n_nodes
         self.policy = policy
         self.moving_delay = float(moving_delay)
+        #: Shared executor-heap ledger (DESIGN.md §13); when set, core
+        #: placement prefers memory-rich nodes.  Leased *alongside*
+        #: cores, never instead of them: conservation stays core-only.
+        self.memory = memory
         #: Active leases in admission order (policy iteration order).
         self.leases: List[SlotLease] = []
         self._moving = 0
@@ -200,7 +206,15 @@ class SlotPool:
                 deficit -= 1
 
     def _issue(self, lease: SlotLease) -> None:
-        node = max(range(self.n_nodes), key=lambda n: (self.free[n], -n))
+        if self.memory is not None:
+            # Memory-aware placement: among core-rich nodes, prefer the
+            # one with the most free executor heap, so concurrent jobs'
+            # tasks land where they are least likely to shrink or spill.
+            mem = self.memory
+            node = max(range(self.n_nodes),
+                       key=lambda n: (self.free[n], mem.free(n), -n))
+        else:
+            node = max(range(self.n_nodes), key=lambda n: (self.free[n], -n))
         self.free[node] -= 1
         self._moving += 1
         grant = _Grant(lease, node)

@@ -28,6 +28,7 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.spec import ClusterSpec
 from repro.core.engine import EngineOptions, SparkSim
 from repro.core.faults import FaultInjector, FaultPlan
+from repro.core.memory import ClusterMemory
 from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
 from repro.serve.arrivals import Arrival, poisson_schedule
 from repro.serve.jobgen import JobMix
@@ -209,8 +210,19 @@ class StreamServer:
         if self.telemetry is not None:
             self.telemetry.bind(sim)
         policy = make_policy(self.policy_name, self.tenants)
+        memory = None
+        if self.options.memory is not None:
+            # One shared heap ledger for the whole warm cluster: every
+            # concurrent job's gates reserve from (and are woken by) the
+            # same pool, so one tenant's memory pressure is another's
+            # queueing delay (DESIGN.md §13).
+            memory = ClusterMemory(
+                cluster.n_nodes,
+                self.options.memory.mem_frac
+                * cluster.spec.node.spark_mem_bytes)
         pool = SlotPool(sim, cluster.n_nodes, cluster.spec.node.cores,
-                        policy, moving_delay=self.moving_delay)
+                        policy, moving_delay=self.moving_delay,
+                        memory=memory)
         injector = None
         if self.fault_plan is not None:
             injector = FaultInjector(sim, self.fault_plan, cluster.n_nodes,
@@ -275,7 +287,7 @@ class StreamServer:
             engine = SparkSim(
                 cluster, spec, opts,
                 job_tag=f"{arrival.tenant}/{arrival.tenant_index}",
-                lease=lease, injector=injector)
+                lease=lease, injector=injector, memory=memory)
             done = engine.start()
             # The callback owns failure propagation (via all_done); an
             # undefused failed process would crash the simulator first.

@@ -53,6 +53,10 @@ class PageCache:
         self.writeback_chunk = float(writeback_chunk)
         self.mem_pipe = FluidPipe(sim, memory_bw, name=f"{name}.mem")
         self.dirty = 0.0
+        #: Pending dirty bytes by file, in write order — the share of
+        #: ``dirty`` not yet claimed by an in-flight writeback chunk.
+        #: Invariant: ``sum(values) == dirty - claimed-in-flight``.
+        self._dirty_of: "OrderedDict[Hashable, float]" = OrderedDict()
         self._wb_active = False
         self._clean_waiters: list = []
         # LRU of file_id -> cached bytes.
@@ -99,9 +103,21 @@ class PageCache:
                 self._resident_total -= overflow
 
     def invalidate(self, file_id: Hashable) -> None:
-        """Drop a file from the cache (e.g. after deletion)."""
+        """Drop a file from the cache (e.g. after deletion).
+
+        Cancels the file's not-yet-written dirty bytes too: deleted data
+        needs no writeback, and leaving it pending would drain device
+        bandwidth for a file that no longer exists.  A chunk already
+        claimed by an in-flight writeback write cannot be recalled — it
+        completes and settles its own share of ``dirty``.
+        """
         nbytes = self._resident.pop(file_id, 0.0)
-        self._resident_total -= nbytes
+        self._resident_total = max(0.0, self._resident_total - nbytes)
+        if not self._resident:
+            self._resident_total = 0.0
+        pending = self._dirty_of.pop(file_id, 0.0)
+        if pending > 0:
+            self.dirty = max(0.0, self.dirty - pending)
 
     # -- I/O paths ---------------------------------------------------------------
     def write(self, nbytes: float, file_id: Hashable,
@@ -118,6 +134,8 @@ class PageCache:
             slow = nbytes - fast
             if fast > 0:
                 self.dirty += fast
+                self._dirty_of[file_id] = \
+                    self._dirty_of.get(file_id, 0.0) + fast
                 self.bytes_absorbed += fast
                 self._insert(file_id, fast)
                 self._kick_writeback()
@@ -143,11 +161,19 @@ class PageCache:
         """
         if nbytes < 0:
             raise ValueError(f"negative read {nbytes}")
+        if of_total is not None and nbytes > of_total * (1 + 1e-9):
+            raise ValueError(
+                f"slice read of {nbytes} bytes exceeds its declared "
+                f"bundle size of_total={of_total}")
 
         def go():
             cached = self.cached_bytes_of(file_id)
             if of_total is not None and of_total > 0:
-                hit = nbytes * min(1.0, cached / of_total)
+                # A slice hits in proportion to the bundle's resident
+                # fraction — but never more than is actually resident
+                # (the unclamped product overstated hits whenever the
+                # slice was larger than the cached remainder).
+                hit = min(nbytes * min(1.0, cached / of_total), cached)
             else:
                 hit = min(nbytes, cached)
             miss = nbytes - hit
@@ -167,6 +193,18 @@ class PageCache:
         return self.sim.process(go(), name=f"{self.name}.read")
 
     # -- background writeback -------------------------------------------------
+    def _claim_dirty(self, chunk: float) -> None:
+        """Remove ``chunk`` bytes of per-file attribution, oldest first."""
+        remaining = chunk
+        while remaining > 1e-9 and self._dirty_of:
+            fid, pending = next(iter(self._dirty_of.items()))
+            if pending <= remaining + 1e-9:
+                self._dirty_of.popitem(last=False)
+                remaining -= pending
+            else:
+                self._dirty_of[fid] = pending - remaining
+                remaining = 0.0
+
     def _kick_writeback(self) -> None:
         if not self._wb_active and self.dirty > 0:
             self._wb_active = True
@@ -175,8 +213,12 @@ class PageCache:
     def _writeback(self):
         while self.dirty > 1e-6:
             chunk = min(self.writeback_chunk, self.dirty)
+            # Claim the chunk's per-file attribution (oldest first)
+            # BEFORE issuing the device write: once in flight it cannot
+            # be cancelled, so invalidate() must not see these bytes.
+            self._claim_dirty(chunk)
             yield self.device.write(chunk, account=False)
-            self.dirty -= chunk
+            self.dirty = max(0.0, self.dirty - chunk)
         self._wb_active = False
         waiters, self._clean_waiters = self._clean_waiters, []
         for ev in waiters:

@@ -19,7 +19,8 @@ class TestScenarios:
         assert set(SCENARIOS) == {"shuffle_wave", "shuffle_wave_10x",
                                   "idle_giant", "ssd_spill",
                                   "fig08_job", "node_crash",
-                                  "stream_sustained", "timer_churn"}
+                                  "stream_sustained", "timer_churn",
+                                  "spill_pressure"}
 
     @pytest.mark.parametrize("name", sorted(SCENARIOS))
     def test_quick_scenario_runs(self, name):

@@ -46,6 +46,26 @@ class TestSpecs:
         with pytest.raises(ValueError):
             ClusterSpec().scaled(0)
 
+    def test_defaults_pass_consistency_checks(self):
+        spec = NodeSpec()  # the Hyperion defaults must stay self-consistent
+        assert spec.ramdisk_usable_bytes <= spec.ramdisk_bytes
+        assert spec.ramdisk_bytes + spec.spark_mem_bytes <= spec.ram_bytes
+        assert spec.page_cache_dirty_bytes <= spec.page_cache_bytes
+
+    def test_ramdisk_usable_cannot_exceed_ramdisk(self):
+        with pytest.raises(ValueError, match="usable space"):
+            NodeSpec(ramdisk_bytes=16 * GB, ramdisk_usable_bytes=24 * GB)
+
+    def test_ramdisk_plus_spark_heap_cannot_exceed_ram(self):
+        with pytest.raises(ValueError, match="physical RAM"):
+            NodeSpec(ram_bytes=48 * GB, ramdisk_bytes=32 * GB,
+                     spark_mem_bytes=30 * GB)
+
+    def test_dirty_limit_cannot_exceed_page_cache(self):
+        with pytest.raises(ValueError, match="dirty throttle"):
+            NodeSpec(page_cache_bytes=4 * GB,
+                     page_cache_dirty_bytes=7 * GB)
+
 
 class TestSpeedModels:
     def test_constant(self):

@@ -103,7 +103,8 @@ class TestCleanupReclaimsEverything:
         spec = hyperion(2)
         spec = dataclasses.replace(
             spec, node=dataclasses.replace(spec.node,
-                                           page_cache_bytes=64 * MB))
+                                           page_cache_bytes=64 * MB,
+                                           page_cache_dirty_bytes=32 * MB))
         plan = FaultPlan((StorageDegradation(
             at=0.1, node=1, volume="ssd", factor=0.1, until=None),))
         cluster = Cluster(spec)

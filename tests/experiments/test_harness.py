@@ -57,6 +57,7 @@ class TestRegistry:
 
     def test_extras_registered(self):
         assert "ablation-mem" in EXPERIMENTS
+        assert "ablation-spill" in EXPERIMENTS
 
     def test_get_known(self):
         assert get("table1") is EXPERIMENTS["table1"]
@@ -82,7 +83,36 @@ class TestCellSupport:
     def test_most_figures_are_celled(self):
         celled = {e for e in EXPERIMENTS if supports_cells(e)}
         assert {"fig05", "fig07", "fig08", "fig09", "fig10",
-                "fig12", "fig13", "fig14", "ablation-mem"} <= celled
+                "fig12", "fig13", "fig14", "ablation-mem",
+                "ablation-spill"} <= celled
+
+
+class TestAblationSpillProtocol:
+    """Cell/assemble round-trip for the spill ablation (no sims run)."""
+
+    def test_cells_cover_the_grid_uniquely(self):
+        from repro.experiments import ablation_spill as mod
+        cells = mod.cells(seeds=(0, 1))
+        assert len(cells) == (len(mod.MECHANISMS) * len(mod.FRACTIONS)
+                              * 2 * 2)
+        assert len(set(cells)) == len(cells)
+
+    def test_assemble_round_trip(self):
+        from repro.experiments import ablation_spill as mod
+        # Synthetic results: rigid twice as slow as elastic everywhere.
+        results = {}
+        for cell in mod.cells(seeds=(0,)):
+            elastic = cell.params_dict["elastic"]
+            results[cell] = {"job_time": 5.0 if elastic else 10.0,
+                             "spill_gb": 1.0 if elastic else 0.0,
+                             "tasks_shrunk": 8.0 if elastic else 0.0,
+                             "declines": 0.0}
+        result = mod.assemble(results, seeds=(0,))
+        assert len(result.rows) == len(mod.MECHANISMS) * len(mod.FRACTIONS)
+        for row in result.rows:
+            assert row[2] == pytest.approx(10.0)   # rigid_s
+            assert row[3] == pytest.approx(5.0)    # elastic_s
+            assert row[4] == pytest.approx(2.0)    # elastic_gain
 
 
 class TestTable1:

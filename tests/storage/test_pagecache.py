@@ -100,6 +100,71 @@ class TestReads:
         pc.invalidate("f1")
         assert pc.cached_bytes_of("f1") == 0.0
 
+    def test_slice_read_hits_in_resident_proportion(self, sim):
+        dev, pc = make_pc(sim, cache_bytes=100 * MB,
+                          dirty_limit_bytes=90 * MB)
+        # 200 MB bundle of which only 100 MB stays resident.
+        sim.run(until=pc.write(90 * MB, "bundle"))
+        sim.run()
+        sim.run(until=pc.read(10 * MB, "other"))  # fill to 100 MB
+        sim.run(until=pc.read(40 * MB, "bundle", of_total=200 * MB))
+        # 45% of the bundle resident -> 45% of the slice hits.
+        assert pc.read_hits == pytest.approx(0.45 * 40 * MB)
+
+    def test_slice_hit_clamped_to_resident_bytes(self, sim):
+        """A slice larger than the cached remainder must not hit for
+        more bytes than are actually resident (the old unclamped
+        ``nbytes * cached/of_total`` could, when combined with a
+        repopulated LRU, credit more than residency)."""
+        dev, pc = make_pc(sim)
+        sim.run(until=pc.write(10 * MB, "bundle"))
+        sim.run()
+        sim.run(until=pc.read(100 * MB, "bundle", of_total=100 * MB))
+        assert pc.read_hits <= pc.cached_bytes_of("bundle") + 1.0
+        assert pc.read_hits == pytest.approx(10 * MB)
+
+    def test_slice_read_larger_than_bundle_rejected(self, sim):
+        dev, pc = make_pc(sim)
+        with pytest.raises(ValueError):
+            pc.read(200 * MB, "bundle", of_total=100 * MB)
+
+
+class TestInvalidateDirty:
+    def test_invalidate_cancels_pending_writeback(self, sim):
+        """Deleting a dirty file must cancel its unwritten dirty bytes —
+        the old code left ``dirty`` inflated, so writeback drained
+        device bandwidth for data that no longer existed."""
+        dev, pc = make_pc(sim)
+        sim.run(until=pc.write(256 * MB, "doomed"))
+        pc.invalidate("doomed")
+        # At most one claimed in-flight chunk may still complete.
+        assert pc.dirty <= pc.writeback_chunk + 1.0
+        sim.run()
+        assert pc.dirty == pytest.approx(0.0, abs=1.0)
+        assert dev.bytes_written <= pc.writeback_chunk + 1.0
+
+    def test_invalidate_spares_other_files_dirty_bytes(self, sim):
+        dev, pc = make_pc(sim)
+        sim.run(until=pc.write(100 * MB, "keep"))
+        sim.run(until=pc.write(100 * MB, "doomed"))
+        pc.invalidate("doomed")
+        sim.run()
+        # "keep"'s dirty bytes (less anything already drained before the
+        # invalidate) still reach the device; "doomed"'s mostly don't.
+        assert pc.dirty == pytest.approx(0.0, abs=1.0)
+        assert 100 * MB - pc.writeback_chunk <= dev.bytes_written
+        assert dev.bytes_written <= 100 * MB + 2 * pc.writeback_chunk
+
+    def test_invalidate_then_flush_is_fast(self, sim):
+        dev, pc = make_pc(sim)
+        sim.run(until=pc.write(400 * MB, "doomed"))
+        pc.invalidate("doomed")
+        start = sim.now
+        sim.run(until=pc.flush())
+        # Only the in-flight chunk (64 MB at 100 MB/s) remains to drain,
+        # not the full 400 MB (4 s).
+        assert sim.now - start < 1.0
+
 
 class TestLocalVolume:
     def test_volume_without_cache_hits_device(self, sim):

@@ -1,0 +1,129 @@
+"""Hypothesis invariant suites for the page-cache model.
+
+Residency bookkeeping (``_resident_total`` mirrors the LRU map and never
+exceeds the cache size) and hit accounting (hits never exceed what was
+resident) must survive arbitrary interleavings of write / read /
+slice-read / invalidate.  Each step runs only until its own I/O event —
+background writeback stays in flight across steps, so invalidate races
+against claimed-but-unwritten chunks exactly as it does mid-job.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+from repro.storage import BlockDevice, PageCache
+
+MB = 1024.0 ** 2
+GB = 1024.0 ** 3
+
+N_FILES = 4
+
+# One step of an interleaving: (op, file index, size in MB).
+_STEP = st.tuples(st.sampled_from(["write", "read", "slice", "invalidate"]),
+                  st.integers(min_value=0, max_value=N_FILES - 1),
+                  st.floats(min_value=0.5, max_value=192.0))
+
+
+def _make_pc(sim):
+    dev = BlockDevice(sim, read_bw=200 * MB, write_bw=200 * MB,
+                      capacity_bytes=64 * GB)
+    return dev, PageCache(sim, dev, memory_bw=GB, cache_bytes=256 * MB,
+                          dirty_limit_bytes=128 * MB)
+
+
+def _check_invariants(pc):
+    assert math.isclose(pc._resident_total, sum(pc._resident.values()),
+                        rel_tol=1e-9, abs_tol=1e-6)
+    assert pc._resident_total <= pc.cache_bytes + 1e-6
+    assert all(v >= 0 for v in pc._resident.values())
+    assert pc.dirty >= 0.0
+    # dirty = claimed-in-flight + per-file attribution; the claimed part
+    # is at most one writeback chunk (single background drainer).
+    unclaimed = sum(pc._dirty_of.values())
+    assert unclaimed <= pc.dirty + 1e-6
+    assert pc.dirty - unclaimed <= pc.writeback_chunk + 1e-6
+
+
+def _apply(sim, pc, written, op, idx, nbytes):
+    """Run one step to its own completion event (writeback keeps going)."""
+    fid = f"f{idx}"
+    if op == "write":
+        sim.run(until=pc.write(nbytes, fid))
+        written[idx] += nbytes
+    elif op == "read":
+        sim.run(until=pc.read(nbytes, fid))
+    elif op == "slice":
+        total = max(written[idx], nbytes)
+        sim.run(until=pc.read(nbytes, fid, of_total=total))
+    else:
+        pc.invalidate(fid)
+        written[idx] = 0.0
+
+
+@given(st.lists(_STEP, min_size=1, max_size=25))
+@settings(max_examples=50, deadline=None)
+def test_residency_invariants_under_interleavings(steps):
+    """_resident_total == sum(values) <= cache_bytes after every step of
+    any write/read/invalidate interleaving, and dirty never goes
+    negative or outruns its per-file attribution."""
+    sim = Simulator()
+    dev, pc = _make_pc(sim)
+    written = {i: 0.0 for i in range(N_FILES)}
+    for op, idx, size_mb in steps:
+        _apply(sim, pc, written, op, idx, size_mb * MB)
+        _check_invariants(pc)
+    sim.run()  # drain background writeback
+    assert pc.dirty <= 1e-6
+    _check_invariants(pc)
+
+
+@given(st.lists(_STEP, min_size=1, max_size=25))
+@settings(max_examples=50, deadline=None)
+def test_hits_never_exceed_residency(steps):
+    """Each read's cache hit is bounded by the bytes resident when it
+    was issued and by the read size itself."""
+    sim = Simulator()
+    dev, pc = _make_pc(sim)
+    written = {i: 0.0 for i in range(N_FILES)}
+    for op, idx, size_mb in steps:
+        nbytes = size_mb * MB
+        fid = f"f{idx}"
+        if op in ("read", "slice"):
+            resident_before = pc.cached_bytes_of(fid)
+            hits_before = pc.read_hits
+            _apply(sim, pc, written, op, idx, nbytes)
+            hit = pc.read_hits - hits_before
+            assert hit <= resident_before + 1e-6
+            assert hit <= nbytes + 1e-6
+        else:
+            _apply(sim, pc, written, op, idx, nbytes)
+        _check_invariants(pc)
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=N_FILES - 1),
+                          st.floats(min_value=1.0, max_value=128.0)),
+                min_size=1, max_size=12))
+@settings(max_examples=50, deadline=None)
+def test_invalidate_mid_writeback_leaves_no_phantom_dirty(writes):
+    """Invalidating every file while writeback is mid-flight cancels all
+    unclaimed dirty bytes: at most one claimed in-flight chunk may still
+    complete, after which the cache settles clean (the bug: ``dirty``
+    kept the deleted files' share and writeback kept draining device
+    bandwidth for data that no longer existed)."""
+    sim = Simulator()
+    dev, pc = _make_pc(sim)
+    for idx, size_mb in writes:
+        sim.run(until=pc.write(size_mb * MB, f"f{idx}"))
+    for idx in range(N_FILES):
+        pc.invalidate(f"f{idx}")
+    # Everything unclaimed was cancelled; only the chunk already handed
+    # to the device (if any) remains.
+    assert pc.dirty <= pc.writeback_chunk + 1e-6
+    assert sum(pc._dirty_of.values()) <= 1e-6
+    assert pc.resident_bytes == 0.0
+    sim.run()
+    assert pc.dirty <= 1e-6
+    assert pc.resident_bytes == 0.0
