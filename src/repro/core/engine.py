@@ -20,13 +20,15 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.spec import ClusterSpec
 from repro.cluster.variability import SpeedModel
 from repro.core.cad import CongestionAwareDispatcher
+from repro.core.combine import reduction_factors, reducer_key_shares
 from repro.core.elb import EnhancedLoadBalancer
 from repro.core.faults import FaultInjector, FaultPlan, ShuffleAvailability
 from repro.core.jobspec import JobSpec
 from repro.core.memory import (ClusterMemory, MemoryConfig, MemoryGate,
                                SpillCurve)
 from repro.core.metrics import (FailureRecord, JobResult, MemoryMetrics,
-                                PhaseMetrics, RecoveryMetrics, TaskRecord)
+                                PhaseMetrics, RecoveryMetrics,
+                                ShuffleMetrics, TaskRecord)
 from repro.core.policies import (DelayScheduling, LocalityFirstPolicy,
                                  SchedulingPolicy)
 from repro.core.scheduler import StageRunner
@@ -169,6 +171,19 @@ class SparkSim:
         self._recovery_started_at = 0.0
         self._store_started = False
         self._owns_injector = False
+        # -- shuffle-volume mechanisms (DESIGN.md §14) --
+        #: Raw / post-combine intermediate totals (equal without the
+        #: combiner); filled once the map outputs are final.
+        self._pre_combine_bytes = 0.0
+        self._post_combine_bytes = 0.0
+        #: (stored, fetched) bytes per shuffle round; one entry for the
+        #: classic single shuffle, one per iteration under M3R mode.
+        self._shuffle_rounds: List[tuple] = []
+        #: reducer id -> node pinned by the partition-stable mapping
+        #: (recorded from the first round's placements).
+        self._reducer_homes: Dict[int, int] = {}
+        #: Active shuffle round for file ids; ``None`` = classic ids.
+        self._current_round: Optional[int] = None
         # -- memory elasticity (inert unless options.memory is set) --
         if memory is not None and self.options.memory is None:
             raise ValueError(
@@ -236,14 +251,23 @@ class SparkSim:
             self._input_file = file_id
 
     # -- file-id namespace -------------------------------------------------------
-    def _shuffle_id(self, node: int):
-        """Id of ``node``'s shuffle bundle, namespaced by job tag."""
-        return ("shuffle", self.job_tag, node) if self.job_tag \
-            else ("shuffle", node)
+    def _shuffle_id(self, node: int, iteration: Optional[int] = None):
+        """Id of ``node``'s shuffle bundle, namespaced by job tag and —
+        under per-iteration shuffling — by round, so a pinned reducer
+        never reads a stale round's bundle and concurrent tagged jobs
+        stay collision-free (``iteration=None`` keeps the historical
+        ids byte-for-byte)."""
+        parts = ["shuffle"]
+        if self.job_tag:
+            parts.append(self.job_tag)
+        if iteration is not None:
+            parts.append(iteration)
+        parts.append(node)
+        return tuple(parts)
 
-    def _shuffle_part_id(self, node: int, r: int):
-        return ("shuffle", self.job_tag, node, r) if self.job_tag \
-            else ("shuffle", node, r)
+    def _shuffle_part_id(self, node: int, r: int,
+                         iteration: Optional[int] = None):
+        return self._shuffle_id(node, iteration) + (r,)
 
     def _stage_kwargs(self) -> dict:
         """Slot-lease plumbing for stage runners (empty when unleased)."""
@@ -340,6 +364,18 @@ class SparkSim:
                 spill_events=self._spill_events,
                 spill_bytes_written=self._spill_written,
                 spill_bytes_read=self._spill_read)
+        shuffle = None
+        if self._shuffle_rounds:
+            stored = [s for s, _ in self._shuffle_rounds]
+            fetched = [f for _, f in self._shuffle_rounds]
+            shuffle = ShuffleMetrics(
+                combiner=self.spec.combiner,
+                partition_stable=self.spec.partition_stable,
+                pre_combine_bytes=self._pre_combine_bytes,
+                post_combine_bytes=self._post_combine_bytes,
+                fetched_bytes=float(sum(fetched)),
+                per_iteration_stored=stored,
+                per_iteration_fetched=fetched)
         result = JobResult(job_name=self.spec.name, job_time=job_time,
                            phases=self._phases,
                            node_intermediate=np.array(self.node_intermediate),
@@ -347,7 +383,8 @@ class SparkSim:
                            seed=self.options.seed,
                            failures=list(self._failure_log),
                            recovery=self.recovery,
-                           memory=memory)
+                           memory=memory,
+                           shuffle=shuffle)
         if self.telemetry is not None:
             self.telemetry.finish(result)
             if self._capture is not None:
@@ -393,8 +430,16 @@ class SparkSim:
                 self._injector.restore_all()
             self._injector.remove_listener(self)
 
+    def _per_iteration_shuffle(self) -> bool:
+        """Iterative shuffle-bearing jobs shuffle every iteration (the
+        M3R scenario); classic jobs shuffle once after the compute loop.
+        No historical spec combines ``iterations > 1`` with a shuffle,
+        so the classic path is untouched byte-for-byte."""
+        return self._shuffling() and self.spec.iterations > 1
+
     def _job(self):
         spec = self.spec
+        per_iter = self._per_iteration_shuffle()
         compute_records: List[TaskRecord] = []
         compute_start = self.sim.now
         if self.sim._tracing:
@@ -403,15 +448,25 @@ class SparkSim:
             records = yield self._run_compute_stage(iteration)
             compute_records.extend(records)
             self._finish_stage()
+            if per_iter:
+                # Map outputs lost to crashes must be re-materialised
+                # before this round snapshots per-node intermediates.
+                yield from self._recovery_barrier()
+                if iteration == 0:
+                    yield from self._maybe_combine()
+                yield from self._shuffle_round(iteration)
         self._phases["compute"] = PhaseMetrics(
             "compute", compute_start, self.sim.now, compute_records)
         if self.sim._tracing:
             self.sim.trace("phase-end", phase="compute")
+        if per_iter:
+            return None
         # Map outputs lost to crashes must be re-materialised before the
         # store stage snapshots per-node intermediates.
         yield from self._recovery_barrier()
 
-        if spec.shuffle_store is not None and spec.intermediate_bytes > 0:
+        if self._shuffling():
+            yield from self._maybe_combine()
             store_start = self.sim.now
             if self.sim._tracing:
                 self.sim.trace("phase-start", phase="store")
@@ -437,7 +492,49 @@ class SparkSim:
                 "fetch", fetch_start, self.sim.now, records)
             if self.sim._tracing:
                 self.sim.trace("phase-end", phase="fetch")
+            self._shuffle_rounds.append(
+                (float(self.node_store_bytes.sum()),
+                 float(self.node_store_bytes.sum())))
         return None
+
+    def _shuffle_round(self, iteration: int):
+        """One store + fetch round of a per-iteration shuffle."""
+        spec = self.spec
+        self._current_round = iteration
+        # Iteration 0 moves the full intermediate volume; with the
+        # partition map pinned, later iterations ship only the delta.
+        scale = 1.0 if iteration == 0 or not spec.partition_stable \
+            else spec.delta_ratio
+        self.node_store_bytes[:] = 0.0
+        self.source_store_bytes[:] = 0.0
+        store_start = self.sim.now
+        if self.sim._tracing:
+            self.sim.trace("phase-start", phase="store", round=iteration)
+        records = yield self._run_store_stage(iteration=iteration,
+                                              scale=scale)
+        self._finish_stage()
+        self._phases[f"store[{iteration}]"] = PhaseMetrics(
+            f"store[{iteration}]", store_start, self.sim.now, records)
+        if self.sim._tracing:
+            self.sim.trace("phase-end", phase="store", round=iteration)
+        yield from self._recovery_barrier()
+
+        if spec.fetch_mode == "lustre-shared":
+            self._split_lustre_shuffle_files(iteration=iteration)
+
+        fetch_start = self.sim.now
+        if self.sim._tracing:
+            self.sim.trace("phase-start", phase="fetch", round=iteration)
+        records = yield self._run_fetch_stage(iteration=iteration)
+        self._finish_stage()
+        self._phases[f"fetch[{iteration}]"] = PhaseMetrics(
+            f"fetch[{iteration}]", fetch_start, self.sim.now, records)
+        if self.sim._tracing:
+            self.sim.trace("phase-end", phase="fetch", round=iteration)
+        self._shuffle_rounds.append(
+            (float(self.node_store_bytes.sum()),
+             float(self.node_store_bytes.sum())))
+        self._current_round = None
 
     # -- computation stage -----------------------------------------------------
     def _run_compute_stage(self, iteration: int):
@@ -538,8 +635,101 @@ class SparkSim:
 
         return factory
 
+    # -- combine stage -------------------------------------------------------------
+    def _maybe_combine(self):
+        """Run the in-node combiner over the final map outputs.
+
+        A no-op (not even a phase entry) when ``spec.combiner`` is off,
+        keeping mechanisms-off fingerprints byte-identical.  Records the
+        pre-combine total either way so ShuffleMetrics is honest."""
+        self._pre_combine_bytes = float(
+            np.asarray(self.node_intermediate).sum())
+        if not self.spec.combiner:
+            self._post_combine_bytes = self._pre_combine_bytes
+            return
+        combine_start = self.sim.now
+        if self.sim._tracing:
+            self.sim.trace("phase-start", phase="combine")
+        records = yield self._run_combine_stage()
+        self._finish_stage()
+        self._apply_combine()
+        self._phases["combine"] = PhaseMetrics(
+            "combine", combine_start, self.sim.now, records)
+        if self.sim._tracing:
+            self.sim.trace("phase-end", phase="combine")
+
+    def _run_combine_stage(self):
+        """One combine task per map output, pinned where it lives (the
+        merge never crosses the network — that is the whole point)."""
+        spec = self.spec
+        n = self.cluster.n_nodes
+        outputs = []
+        for node in range(n):
+            count = int(self.node_task_counts[node])
+            if count == 0:
+                continue
+            per = self.node_intermediate[node] / count
+            outputs.extend((node, per) for _ in range(count))
+        noise = self._noise_factors("combine-noise", len(outputs),
+                                    spec.store_noise_sigma)
+        mem_kwargs = self._memory_kwargs()
+        tasks = [SimTask(task_id=k, phase="combine",
+                         body=self._with_failures(
+                             self._combine_body(node, nbytes, noise[k]),
+                             "combine", k),
+                         pinned=node, nbytes=nbytes)
+                 for k, (node, nbytes) in enumerate(outputs)]
+        runner = StageRunner(self.sim, n, self.cluster.spec.node.cores,
+                             tasks, policy=LocalityFirstPolicy(),
+                             task_overhead=self.conf.task_overhead,
+                             liveness=self._liveness,
+                             failure_log=self._failure_log,
+                             metrics=self.metrics,
+                             **mem_kwargs,
+                             **self._stage_kwargs())
+        return self._launch_stage(runner)
+
+    def _combine_body(self, node: int, nbytes: float, noise: float):
+        spec = self.spec
+        cluster = self.cluster
+
+        def factory(assigned: int):
+            return body(assigned)
+
+        def body(assigned: int):
+            # An in-memory hash merge: pure compute, no I/O — the saved
+            # store/fetch bytes are where the mechanism pays off.
+            nominal = nbytes / spec.combine_compute_rate * noise
+            yield cluster.nodes[node].compute(nominal)
+
+        return factory
+
+    def _apply_combine(self) -> None:
+        """Shrink the per-node intermediates by the skew-derived
+        reduction factors (and the per-partition lineage records with
+        them, so crash recovery re-materialises post-combine sizes)."""
+        spec = self.spec
+        raw = np.asarray(self.node_intermediate, dtype=float).copy()
+        factors = reduction_factors(raw, spec.pair_bytes, spec.n_keys,
+                                    spec.key_skew)
+        for node in range(self.cluster.n_nodes):
+            if raw[node] > 0:
+                self.node_intermediate[node] = raw[node] * factors[node]
+        for i, node in self._cache_locations.items():
+            if i in self._partition_intermediate:
+                self._partition_intermediate[i] *= factors[node]
+        self._post_combine_bytes = float(
+            np.asarray(self.node_intermediate).sum())
+        if self.metrics.enabled:
+            self.metrics.counter("shuffle.combined_away_bytes").inc(
+                self._pre_combine_bytes - self._post_combine_bytes)
+        if self.sim._tracing:
+            self.sim.trace("combine", pre=self._pre_combine_bytes,
+                           post=self._post_combine_bytes)
+
     # -- storing stage ------------------------------------------------------------
-    def _run_store_stage(self):
+    def _run_store_stage(self, iteration: Optional[int] = None,
+                         scale: float = 1.0):
         spec = self.spec
         n = self.cluster.n_nodes
         # From here on, a crashed node's shuffle output is addressed data:
@@ -551,16 +741,19 @@ class SparkSim:
             count = int(self.node_task_counts[node])
             if count == 0:
                 continue
-            per = self.node_intermediate[node] / count
+            per = self.node_intermediate[node] / count * scale
             outputs.extend((node, per) for _ in range(count))
-        noise = self._noise_factors("store-noise", len(outputs),
+        stream = "store-noise" if iteration is None \
+            else f"store-noise-{iteration}"
+        noise = self._noise_factors(stream, len(outputs),
                                     spec.store_noise_sigma)
         # Storing tasks hold heap (the gate applies) but stream straight
         # from memory-resident intermediates to storage — no spill curve.
         mem_kwargs = self._memory_kwargs()
         tasks = [SimTask(task_id=k, phase="store",
                          body=self._with_failures(
-                             self._store_body(node, nbytes, noise[k]),
+                             self._store_body(node, nbytes, noise[k],
+                                              iteration),
                              "store", k),
                          pinned=node, nbytes=nbytes)
                  for k, (node, nbytes) in enumerate(outputs)]
@@ -590,7 +783,8 @@ class SparkSim:
                              **self._stage_kwargs())
         return self._launch_stage(runner)
 
-    def _store_body(self, node: int, nbytes: float, noise: float):
+    def _store_body(self, node: int, nbytes: float, noise: float,
+                    iteration: Optional[int] = None):
         spec = self.spec
         cluster = self.cluster
 
@@ -599,7 +793,7 @@ class SparkSim:
 
         def body(assigned: int):
             start = self.sim.now
-            file_id = self._shuffle_id(node)
+            file_id = self._shuffle_id(node, iteration)
             if spec.shuffle_store == "lustre":
                 self._lustre_files[file_id] = None
                 yield cluster.lustre.write(node, nbytes, file_id)
@@ -618,13 +812,14 @@ class SparkSim:
 
         return factory
 
-    def _split_lustre_shuffle_files(self) -> None:
+    def _split_lustre_shuffle_files(self,
+                                    iteration: Optional[int] = None) -> None:
         n_reducers = self.spec.reducers(self.cluster.total_cores)
         for node in range(self.cluster.n_nodes):
             if self.node_store_bytes[node] <= 0:
                 continue
-            bundle = self._shuffle_id(node)
-            parts = [self._shuffle_part_id(node, r)
+            bundle = self._shuffle_id(node, iteration)
+            parts = [self._shuffle_part_id(node, r, iteration)
                      for r in range(n_reducers)]
             self.cluster.lustre.split_file(bundle, parts)
             if bundle in self._lustre_files:
@@ -633,33 +828,71 @@ class SparkSim:
                     self._lustre_files[p] = None
 
     # -- fetching stage ------------------------------------------------------------
-    def _run_fetch_stage(self):
+    def _run_fetch_stage(self, iteration: Optional[int] = None):
         spec = self.spec
         n_reducers = spec.reducers(self.cluster.total_cores)
-        noise = self._noise_factors("fetch-noise", n_reducers,
+        stream = "fetch-noise" if iteration is None \
+            else f"fetch-noise-{iteration}"
+        noise = self._noise_factors(stream, n_reducers,
                                     spec.compute_noise_sigma)
+        # Under the combiner, hash partitioning deals out *distinct keys*,
+        # not raw pairs: each reducer's slice is sized by its key share.
+        shares = reducer_key_shares(spec.n_keys, n_reducers) \
+            if spec.combiner else None
         plan = FetchPlan(cluster=self.cluster, spec=spec, conf=self.conf,
                          node_store_bytes=self.node_store_bytes,
                          n_reducers=n_reducers,
                          availability=self._availability,
                          source_bytes=self.source_store_bytes
                          if self._availability is not None else None,
-                         file_tag=self.job_tag)
-        total_per_reducer = float(self.node_store_bytes.sum()) / n_reducers
+                         file_tag=self.job_tag,
+                         reducer_share=shares,
+                         iteration=iteration)
+        total = float(self.node_store_bytes.sum())
         mem_kwargs = self._memory_kwargs()
+
+        def reducer_bytes(r: int) -> float:
+            if shares is not None:
+                return total * float(shares[r])
+            return total / n_reducers
+
+        # M3R partition-stable mode: the first round's reducer placements
+        # become the fixed partition map — later rounds pin each reducer
+        # to its home so the iteration's delta lands on warm state.
+        pin_round = iteration is not None and spec.partition_stable
+        on_complete = None
+        if pin_round and iteration == 0:
+            def on_complete(task: SimTask, node: int,
+                            rec: TaskRecord) -> None:
+                self._reducer_homes[task.task_id] = node
+
+        def pin_for(r: int) -> Optional[int]:
+            if not pin_round or iteration == 0:
+                return None
+            home = self._reducer_homes.get(r)
+            if home is None:
+                return None
+            if self._liveness is not None \
+                    and not self._liveness.alive(home):
+                # The home died: fall back to free placement (the
+                # partition map is rebuilt for this reducer only).
+                return None
+            return home
+
         tasks = [SimTask(task_id=r, phase="fetch",
                          body=self._with_failures(
                              self._with_spill(
                                  fetch_body(plan, r, noise[r]),
-                                 "fetch", r, total_per_reducer),
+                                 "fetch", r, reducer_bytes(r)),
                              "fetch", r),
-                         nbytes=total_per_reducer)
+                         pinned=pin_for(r), nbytes=reducer_bytes(r))
                  for r in range(n_reducers)]
         runner = StageRunner(self.sim, self.cluster.n_nodes,
                              self.cluster.spec.node.cores, tasks,
                              policy=LocalityFirstPolicy(),
                              speculation=self._speculation(),
                              task_overhead=self.conf.task_overhead,
+                             on_complete=on_complete,
                              liveness=self._liveness,
                              failure_log=self._failure_log,
                              metrics=self.metrics,
@@ -870,7 +1103,10 @@ class SparkSim:
                 rec.bytes_recomputed += inter
             if self._store_started and spec.shuffle_store is not None \
                     and inter > 0:
-                file_id = self._shuffle_id(host)
+                # Round-aware: under per-iteration shuffling the re-store
+                # must land in the active round's bundle, or pinned
+                # reducers would fetch from a file that never existed.
+                file_id = self._shuffle_id(host, self._current_round)
                 if spec.shuffle_store == "lustre":
                     self._lustre_files[file_id] = None
                     yield self.cluster.lustre.write(host, inter, file_id)

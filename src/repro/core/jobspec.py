@@ -72,6 +72,29 @@ class JobSpec:
     #: spec (``spark_mem_bytes / cores`` — one full heap share per core).
     #: Only consulted when the run manages memory (EngineOptions.memory).
     task_heap_bytes: Optional[float] = None
+    # -- shuffle-volume mechanisms (DESIGN.md §14); both default off, --
+    # -- keeping every historical fingerprint byte-identical.          --
+    #: In-node combiner: merge each node's map outputs key-by-key before
+    #: the storing stage (arXiv:1511.04861).  The reduction factor is
+    #: derived from the key distribution below, not hand-tuned.
+    combiner: bool = False
+    #: Zipf skew of the intermediate key distribution (the exponent is
+    #: ``1 + key_skew``; 0 = uniform) — the same knob as
+    #: ``datagen.generate_kv_pairs(skew=...)``.
+    key_skew: float = 0.0
+    #: Distinct intermediate keys the workload can produce.
+    n_keys: int = 1 << 20
+    #: Average bytes per intermediate key/value record.
+    pair_bytes: float = 100.0
+    #: Per-core throughput of the in-node hash-merge pass, bytes/second.
+    combine_compute_rate: float = 2.5 * GB
+    #: M3R-style partition-stable shuffle (arXiv:1208.4168): pin the
+    #: reducer→node mapping across iterations so cached reducer-side
+    #: partitions stay local and only deltas move after iteration 1.
+    partition_stable: bool = False
+    #: Fraction of the intermediate volume shuffled per iteration after
+    #: the first (the centroid/assignment delta); 1.0 = full reshuffle.
+    delta_ratio: float = 1.0
 
     def __post_init__(self) -> None:
         if self.input_bytes < 0:
@@ -96,6 +119,29 @@ class JobSpec:
                 "lustre fetch modes require shuffle_store='lustre'")
         if self.task_heap_bytes is not None and self.task_heap_bytes <= 0:
             raise ValueError("task_heap_bytes must be positive when set")
+        if self.key_skew < 0:
+            raise ValueError(
+                f"key_skew must be >= 0, got {self.key_skew}")
+        if self.n_keys < 1:
+            raise ValueError(f"n_keys must be >= 1, got {self.n_keys}")
+        if self.pair_bytes <= 0:
+            raise ValueError(
+                f"pair_bytes must be > 0, got {self.pair_bytes}")
+        if self.combine_compute_rate <= 0:
+            raise ValueError(
+                f"combine_compute_rate must be > 0, got "
+                f"{self.combine_compute_rate}")
+        if not 0.0 <= self.delta_ratio <= 1.0:
+            raise ValueError(
+                f"delta_ratio must be in [0, 1], got {self.delta_ratio}")
+        if self.combiner and self.shuffle_store is None:
+            raise ValueError(
+                "combiner=True needs a shuffle (shuffle_store is None: "
+                "there is no intermediate data to combine)")
+        if self.partition_stable and self.shuffle_store is None:
+            raise ValueError(
+                "partition_stable=True needs a shuffle (shuffle_store is "
+                "None: there is no reducer partition map to pin)")
 
     @property
     def n_map_tasks(self) -> int:

@@ -62,23 +62,53 @@ class FetchPlan:
     #: per-job tag so concurrent jobs' shuffle files never collide (an
     #: untagged single job keeps the historical ids byte-for-byte).
     file_tag: str = ""
+    #: Per-reducer share of each source's output.  ``None`` keeps the
+    #: historical uniform ``1 / n_reducers`` hash split; the in-node
+    #: combiner supplies the exact post-combine key split instead
+    #: (``combine.reducer_key_shares`` — distinct keys, not bytes, are
+    #: what hash partitioning deals out after merging).
+    reducer_share: Optional[np.ndarray] = None
+    #: Shuffle round under per-iteration shuffling (M3R partition-stable
+    #: jobs); ``None`` keeps the historical single-shuffle file ids.
+    iteration: Optional[int] = None
 
     def bundle_id(self, phys: int):
-        """File id of ``phys``'s shuffle bundle."""
-        return ("shuffle", self.file_tag, phys) if self.file_tag \
-            else ("shuffle", phys)
+        """File id of ``phys``'s shuffle bundle (this round's)."""
+        parts = ["shuffle"]
+        if self.file_tag:
+            parts.append(self.file_tag)
+        if self.iteration is not None:
+            parts.append(self.iteration)
+        parts.append(phys)
+        return tuple(parts)
 
     def part_id(self, phys: int, reducer: int):
         """File id of one reducer's slice of ``phys``'s output."""
-        return ("shuffle", self.file_tag, phys, reducer) if self.file_tag \
-            else ("shuffle", phys, reducer)
+        return self.bundle_id(phys) + (reducer,)
 
-    def slice_bytes(self, src: int) -> float:
-        """Bytes of one reducer's partition on ``src`` (hash partitioning
-        spreads each node's output uniformly over reducers)."""
+    def slice_bytes(self, src: int, reducer: Optional[int] = None) -> float:
+        """Bytes of ``reducer``'s partition on ``src``.
+
+        Uniform hash partitioning by default; under the combiner the
+        per-reducer key shares size each slice (``reducer=None`` keeps
+        the historical uniform average for callers that only need a
+        per-source mean)."""
+        total = self.bundle_total(src)
+        if self.reducer_share is not None and reducer is not None:
+            return total * float(self.reducer_share[reducer])
+        return total / self.n_reducers
+
+    def bundle_total(self, src: int) -> float:
+        """Total stored bytes of logical source ``src``.
+
+        Sized from the *logical* ``source_bytes`` exactly like
+        ``slice_bytes``: the physical ``node_store_bytes`` entry is
+        zeroed by a crash (and inflated on a host that recovered someone
+        else's output), which must not skew a late reducer's partial-read
+        pipelining."""
         data = self.source_bytes if self.source_bytes is not None \
             else self.node_store_bytes
-        return float(data[src]) / self.n_reducers
+        return float(data[src])
 
     def flow_cap(self) -> float:
         return request_rate_cap(self.conf.fetch_request_bytes,
@@ -111,7 +141,7 @@ def _run(plan: FetchPlan, reducer: int, node: int, noise: float):
     # Rotate source order per reducer so sources aren't hit in lockstep.
     for k in range(n):
         src = (node + 1 + k + reducer) % n
-        nbytes = plan.slice_bytes(src)
+        nbytes = plan.slice_bytes(src, reducer)
         if nbytes <= 0:
             continue
         total += nbytes
@@ -142,7 +172,7 @@ def _fetch_one(plan: FetchPlan, src: int, dst: int, reducer: int,
             phys = plan.availability.physical(src)
         mode = spec.fetch_mode
         bundle = plan.bundle_id(phys)
-        bundle_total = float(plan.node_store_bytes[phys])
+        bundle_total = plan.bundle_total(src)
         if mode == "network":
             read_ev = cluster.nodes[phys].volume(spec.shuffle_store).read(
                 nbytes, bundle, of_total=bundle_total)
@@ -165,7 +195,10 @@ def _fetch_one(plan: FetchPlan, src: int, dst: int, reducer: int,
                 yield AllOf(cluster.sim, [read_ev, net_ev])
         elif mode == "lustre-shared":
             # Direct Lustre read: MDS op + lock revocation + OSS traffic.
+            # ``of_total`` sizes the slice like the other two modes do,
+            # so holder-cache partial reads pipeline consistently.
             yield cluster.lustre.read(dst, nbytes,
-                                      plan.part_id(phys, reducer))
+                                      plan.part_id(phys, reducer),
+                                      of_total=nbytes)
         else:  # pragma: no cover - JobSpec validates
             raise ValueError(f"unknown fetch mode {mode!r}")

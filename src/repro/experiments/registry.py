@@ -25,6 +25,7 @@ from repro.experiments import (
     fig12_load_imbalance,
     fig13_elb,
     fig14_cad,
+    fig_shuffle_volume,
     stream_load,
     table1_config,
 )
@@ -45,6 +46,7 @@ MODULES: Dict[str, ModuleType] = {
     # Extras beyond the paper's figures:
     "ablation-mem": ablation_memory_resident,
     "ablation-spill": ablation_spill,
+    "shuffle-volume": fig_shuffle_volume,
     "stream-load": stream_load,
 }
 
@@ -62,6 +64,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     # Extras beyond the paper's figures:
     "ablation-mem": ablation_memory_resident.run,
     "ablation-spill": ablation_spill.run,
+    "shuffle-volume": fig_shuffle_volume.run,
     "stream-load": stream_load.run,
 }
 

@@ -97,11 +97,16 @@ class LustreFileSystem:
 
         return self.sim.process(go(), name="lustre.write")
 
-    def read(self, node_id: int, nbytes: float, file_id: Hashable) -> Event:
+    def read(self, node_id: int, nbytes: float, file_id: Hashable,
+             of_total: Optional[float] = None) -> Event:
         """Read ``nbytes`` of ``file_id`` at ``node_id``.
 
         Same-node reads hit the holder's cache; cross-node reads revoke
-        the write lock, forcing the holder's flush first.
+        the write lock, forcing the holder's flush first.  ``of_total``
+        marks the read as a slice of a file of that size so the holder's
+        cache-hit fraction pipelines exactly like :meth:`read_local` and
+        the node-local volumes do (the lustre-shared fetch path used to
+        omit it, making partial reads inconsistent across fetch modes).
         """
         self._check_node(node_id)
         if nbytes < 0:
@@ -111,7 +116,8 @@ class LustreFileSystem:
             yield self._mds_op()
             holder = self.locks.get(file_id)
             if holder == node_id:
-                yield self.clients[node_id].read_local(nbytes, file_id)
+                yield self.clients[node_id].read_local(nbytes, file_id,
+                                                       of_total=of_total)
             else:
                 if holder is not None:
                     yield self._revoke(file_id)

@@ -21,7 +21,7 @@ from repro.workloads.kmeans import kmeans_spec
 from repro.workloads.logreg import logistic_regression_spec
 from repro.workloads.wordcount import wordcount_spec
 
-__all__ = ["JobMix", "CATALOG"]
+__all__ = ["JobMix", "CATALOG", "MECHANISMS_CATALOG"]
 
 GB = 1024.0 ** 3
 
@@ -34,6 +34,21 @@ CATALOG: List[tuple] = [
     ("logreg", 0.10, lambda b: logistic_regression_spec(b, iterations=3)),
 ]
 
+#: Same mix with the shuffle-volume mechanisms on (DESIGN.md §14):
+#: combiners for the shuffle-bearing jobs, M3R partition-stable rounds
+#: for the iterative ones.  Per-round shuffle file ids are namespaced by
+#: both job tag and iteration, so concurrent tenants stay collision-free.
+MECHANISMS_CATALOG: List[tuple] = [
+    ("scan", 0.30, lambda b: grep_spec(b, combiner=True)),
+    ("agg", 0.20, lambda b: wordcount_spec(b, combiner=True)),
+    ("join", 0.25, lambda b: groupby_spec(b, combiner=True, key_skew=0.8)),
+    ("kmeans", 0.15, lambda b: kmeans_spec(b, iterations=3,
+                                           shuffle_ratio=0.25,
+                                           partition_stable=True)),
+    ("logreg", 0.10, lambda b: logistic_regression_spec(
+        b, iterations=3, shuffle_ratio=0.1, partition_stable=True)),
+]
+
 #: Data-scale multipliers on the base size (mostly small interactive
 #: jobs, a tail of heavy ones) — weights sum to 1.0.
 SCALES: List[Tuple[float, float]] = [
@@ -43,11 +58,17 @@ SCALES: List[Tuple[float, float]] = [
 class JobMix:
     """Deterministic, index-addressable job sequences per tenant."""
 
-    def __init__(self, seed: int, base_gb: float) -> None:
+    def __init__(self, seed: int, base_gb: float,
+                 mechanisms: bool = False) -> None:
         if base_gb <= 0:
             raise ValueError(f"base_gb must be > 0, got {base_gb}")
         self.seed = seed
         self.base_gb = float(base_gb)
+        #: Draw specs with the shuffle-volume mechanisms enabled.  The
+        #: *sequence* (labels, scales) is identical either way — only the
+        #: spec factories differ — so mechanism A/B runs see the same
+        #: arrival trace.
+        self.mechanisms = bool(mechanisms)
         self._streams = RandomStreams(seed)
         #: tenant -> list of already-drawn (label, scale_gb) choices.
         self._drawn: Dict[str, List[Tuple[str, float]]] = {}
@@ -82,5 +103,6 @@ class JobMix:
         """Return ``(workload label, scale in GB, JobSpec)`` for the
         ``index``-th job of ``tenant``."""
         label, scale_gb = self._choices(tenant, index)
-        factory = next(fn for name, _w, fn in CATALOG if name == label)
+        catalog = MECHANISMS_CATALOG if self.mechanisms else CATALOG
+        factory = next(fn for name, _w, fn in catalog if name == label)
         return label, scale_gb, factory(scale_gb * GB)

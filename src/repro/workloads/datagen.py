@@ -37,11 +37,18 @@ def generate_text_corpus(n_lines: int, words_per_line: int = 8,
 def generate_kv_pairs(n_pairs: int, n_keys: int = 1000, value_size: int = 1,
                       skew: float = 0.0, seed: int = 0
                       ) -> List[Tuple[int, int]]:
-    """(key, value) pairs; ``skew`` > 0 gives a Zipf-ish key distribution."""
+    """(key, value) pairs; ``skew`` > 0 gives a Zipf-ish key distribution
+    (drawn as ``rng.zipf(1.0 + skew)`` folded onto ``n_keys`` keys — the
+    same parameterisation the simulated combiner model derives its
+    reduction curves from, see :mod:`repro.core.combine`)."""
     if n_pairs < 0:
-        raise ValueError("n_pairs must be non-negative")
+        raise ValueError(f"n_pairs must be non-negative, got {n_pairs}")
     if n_keys < 1:
-        raise ValueError("n_keys must be >= 1")
+        raise ValueError(f"n_keys must be >= 1, got {n_keys}")
+    if skew < 0:
+        raise ValueError(
+            f"skew must be >= 0, got {skew} (0 = uniform keys; larger "
+            f"values sharpen the Zipf head)")
     rng = np.random.default_rng(seed)
     if skew > 0:
         keys = rng.zipf(1.0 + skew, size=n_pairs) % n_keys

@@ -25,7 +25,11 @@ def grep_spec(input_bytes: float,
               scan_rate: float = 250 * MB,
               intermediate_bytes: float = 64 * MB,
               n_reducers: Optional[int] = None,
-              shuffle_store: Optional[str] = None) -> JobSpec:
+              shuffle_store: Optional[str] = None,
+              combiner: bool = False,
+              key_skew: float = 0.0,
+              n_keys: int = 1 << 16,
+              pair_bytes: float = 200.0) -> JobSpec:
     """The simulated Grep job.
 
     ``scan_rate`` is the per-core regex-scan throughput — deliberately
@@ -36,6 +40,11 @@ def grep_spec(input_bytes: float,
     ``shuffle_store=None`` picks the configuration's natural device
     (RAMDisk shuffle dirs, or Lustre when the input comes from Lustre);
     pass ``"ramdisk"``/``"ssd"``/``"lustre"`` to pin it.
+
+    ``combiner=True`` merges matched lines per node before storing; with
+    uniform match keys (``key_skew=0``) and ~200-byte records the
+    reduction is modest — Grep's shuffle is never the bottleneck, which
+    is exactly why it belongs in the sweep as the null case.
     """
     ratio = min(1.0, intermediate_bytes / input_bytes) if input_bytes else 0.0
     if shuffle_store is None:
@@ -56,6 +65,10 @@ def grep_spec(input_bytes: float,
         # (match density, record lengths).
         hdfs_placement="skewed",
         compute_noise_sigma=0.30,
+        combiner=combiner,
+        key_skew=key_skew,
+        n_keys=n_keys,
+        pair_bytes=pair_bytes,
     )
 
 

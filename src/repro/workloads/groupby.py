@@ -26,12 +26,22 @@ def groupby_spec(data_bytes: float,
                  fetch_mode: str = "network",
                  n_reducers: Optional[int] = None,
                  generate_rate: float = 350 * MB,
-                 reduce_rate: float = 1.5 * GB) -> JobSpec:
+                 reduce_rate: float = 1.5 * GB,
+                 combiner: bool = False,
+                 key_skew: float = 0.0,
+                 n_keys: int = 1 << 20,
+                 pair_bytes: float = 100.0) -> JobSpec:
     """The simulated GroupBy job.
 
     ``data_bytes`` is both input and intermediate volume (ratio 1.0).
     The paper sweeps it from 100 GB to 1.5 TB and varies where the
     intermediate data lives (``shuffle_store`` / ``fetch_mode``).
+
+    ``combiner=True`` merges each node's pairs before the storing stage;
+    the shuffle volume then follows the expected distinct-key count of
+    the ``(key_skew, n_keys, pair_bytes)`` distribution — the same knobs
+    ``datagen.generate_kv_pairs`` draws real pairs from — instead of the
+    raw 1:1 ratio.
     """
     return JobSpec(
         name="GroupBy",
@@ -45,6 +55,10 @@ def groupby_spec(data_bytes: float,
         fetch_mode=fetch_mode,
         n_reducers=n_reducers,
         store_noise_sigma=0.10,
+        combiner=combiner,
+        key_skew=key_skew,
+        n_keys=n_keys,
+        pair_bytes=pair_bytes,
     )
 
 

@@ -27,26 +27,45 @@ def kmeans_spec(input_bytes: float,
                 input_source: str = "hdfs",
                 iterations: int = 5,
                 compute_rate: float = 60 * MB,
-                n_reducers: Optional[int] = None) -> JobSpec:
+                n_reducers: Optional[int] = None,
+                shuffle_ratio: float = 0.0,
+                shuffle_store: Optional[str] = None,
+                partition_stable: bool = False,
+                delta_ratio: float = 0.1) -> JobSpec:
     """Simulated kMeans: iterative compute stages over cached input.
 
-    The per-iteration shuffle (centroid partial sums) is tiny — a few
-    kilobytes per task — so like LR the simulation models it as pure
-    computation; the cached-input / locality behaviour is what matters.
+    By default the per-iteration shuffle (centroid partial sums) is tiny
+    — a few kilobytes per task — so like LR the simulation models it as
+    pure computation; the cached-input / locality behaviour is what
+    matters.
+
+    ``shuffle_ratio > 0`` instead models the full assignment shuffle
+    (cluster id → point sums) every iteration: ``shuffle_ratio`` of the
+    input moves per round.  ``partition_stable=True`` is the M3R mode —
+    the reducer→node map from iteration 0 is pinned, so later rounds
+    ship only the re-assignment delta (``delta_ratio`` of the volume:
+    points that changed cluster, a small fraction once Lloyd's algorithm
+    starts converging).
     """
+    if shuffle_ratio < 0:
+        raise ValueError(f"shuffle_ratio must be >= 0, got {shuffle_ratio}")
+    if shuffle_ratio > 0 and shuffle_store is None:
+        shuffle_store = "ramdisk"
     return JobSpec(
         name="kMeans",
         input_bytes=input_bytes,
         split_bytes=split_bytes,
         map_compute_rate=compute_rate,
-        intermediate_ratio=0.0,
+        intermediate_ratio=shuffle_ratio,
         input_source=input_source,
-        shuffle_store=None,
+        shuffle_store=shuffle_store if shuffle_ratio > 0 else None,
         iterations=iterations,
         cache_input=True,
         n_reducers=n_reducers,
         hdfs_placement="roundrobin",   # generated numeric data
         compute_noise_sigma=0.05,
+        partition_stable=partition_stable,
+        delta_ratio=delta_ratio if partition_stable else 1.0,
     )
 
 

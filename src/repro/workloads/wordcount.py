@@ -27,14 +27,22 @@ def wordcount_spec(input_bytes: float,
                    combine_ratio: float = 0.15,
                    scan_rate: float = 180 * MB,
                    n_reducers: Optional[int] = None,
-                   shuffle_store: Optional[str] = None) -> JobSpec:
+                   shuffle_store: Optional[str] = None,
+                   combiner: bool = False,
+                   key_skew: float = 0.2,
+                   n_keys: int = 60_000,
+                   pair_bytes: float = 12.0) -> JobSpec:
     """Simulated WordCount.
 
-    ``combine_ratio`` is the shuffle volume relative to input after
-    map-side combining (word frequencies follow a Zipf law, so combining
-    is very effective on natural text).  ``shuffle_store=None`` picks
-    the configuration's natural device; pass ``"ramdisk"``/``"ssd"``/
-    ``"lustre"`` to pin it.
+    ``combine_ratio`` is the hand-tuned shuffle volume relative to input
+    after map-side combining (word frequencies follow a Zipf law, so
+    combining is very effective on natural text).  ``combiner=True``
+    replaces that fixed ratio with the engine's in-node combiner: the
+    map stage emits the *raw* pair stream (ratio 1.0) and the reduction
+    is derived from the vocabulary model — ``n_keys`` distinct words,
+    Zipf-ish frequencies (``key_skew``), ~``pair_bytes`` per ``(word,
+    1)`` record.  ``shuffle_store=None`` picks the configuration's
+    natural device; pass ``"ramdisk"``/``"ssd"``/``"lustre"`` to pin it.
     """
     if not 0 < combine_ratio <= 1:
         raise ValueError("combine_ratio must be in (0, 1]")
@@ -45,7 +53,7 @@ def wordcount_spec(input_bytes: float,
         input_bytes=input_bytes,
         split_bytes=split_bytes,
         map_compute_rate=scan_rate,
-        intermediate_ratio=combine_ratio,
+        intermediate_ratio=1.0 if combiner else combine_ratio,
         input_source=input_source,
         shuffle_store=shuffle_store,
         fetch_mode="network" if shuffle_store != "lustre"
@@ -53,6 +61,10 @@ def wordcount_spec(input_bytes: float,
         n_reducers=n_reducers,
         hdfs_placement="skewed",          # text corpus, like Grep
         compute_noise_sigma=0.25,
+        combiner=combiner,
+        key_skew=key_skew,
+        n_keys=n_keys,
+        pair_bytes=pair_bytes,
     )
 
 

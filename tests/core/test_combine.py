@@ -1,0 +1,135 @@
+"""Combiner math: distinct-key expectations and byte conservation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.combine import (expected_distinct_keys, reducer_key_shares,
+                                reduction_factor, reduction_factors,
+                                zipf_pmf)
+
+GB = 1024.0 ** 3
+
+
+class TestZipfPmf:
+    def test_sums_to_one(self):
+        for skew in (0.0, 0.3, 1.0, 2.5):
+            assert zipf_pmf(1000, skew).sum() == pytest.approx(1.0)
+
+    def test_uniform_at_zero_skew(self):
+        p = zipf_pmf(4, 0.0)
+        assert np.allclose(p, 0.25)
+
+    def test_skew_sharpens_the_head(self):
+        flat = zipf_pmf(100, 0.2)
+        sharp = zipf_pmf(100, 2.0)
+        assert sharp[0] > flat[0]
+        assert sharp[-1] < flat[-1]
+
+    def test_cached_array_is_read_only(self):
+        p = zipf_pmf(10, 1.0)
+        with pytest.raises(ValueError):
+            p[0] = 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_keys"):
+            zipf_pmf(0, 1.0)
+        with pytest.raises(ValueError, match="skew"):
+            zipf_pmf(10, -0.1)
+
+
+class TestExpectedDistinctKeys:
+    def test_bounded_by_draws_and_keyspace(self):
+        for m in (1, 10, 1e4, 1e7):
+            for skew in (0.0, 1.0):
+                d = expected_distinct_keys(m, 1000, skew)
+                assert 0 < d <= min(m, 1000) + 1e-9
+
+    def test_single_draw_is_one_distinct_key(self):
+        assert expected_distinct_keys(1, 1000, 0.7) == pytest.approx(1.0)
+
+    def test_saturates_at_keyspace(self):
+        assert expected_distinct_keys(1e9, 50, 0.0) == pytest.approx(50.0)
+
+    def test_monotone_in_draws(self):
+        vals = [expected_distinct_keys(m, 500, 0.5)
+                for m in (10, 100, 1000, 10_000)]
+        assert vals == sorted(vals)
+
+    def test_monotone_decreasing_in_skew(self):
+        vals = [expected_distinct_keys(10_000, 1000, s)
+                for s in (0.0, 0.5, 1.0, 2.0)]
+        assert vals == sorted(vals, reverse=True)
+        assert vals[0] > vals[-1]
+
+
+class TestReductionFactor:
+    def test_in_unit_interval(self):
+        for b in (100.0, 1 * GB, 10 * GB):
+            r = reduction_factor(b, 100.0, 1 << 20, 0.8)
+            assert 0 < r <= 1.0
+
+    def test_lone_record_does_not_merge(self):
+        assert reduction_factor(50.0, 100.0, 1000, 1.0) == 1.0
+        assert reduction_factor(0.0, 100.0, 1000, 1.0) == 1.0
+
+    def test_more_skew_more_reduction(self):
+        rs = [reduction_factor(1 * GB, 100.0, 1 << 20, s)
+              for s in (0.0, 0.6, 1.2, 1.8)]
+        assert rs == sorted(rs, reverse=True)
+        assert rs[0] > rs[-1]
+
+    def test_vectorised_matches_scalar(self):
+        sizes = np.array([0.0, 1 * GB, 4 * GB])
+        rs = reduction_factors(sizes, 100.0, 1 << 20, 1.0)
+        for b, r in zip(sizes, rs):
+            assert r == reduction_factor(float(b), 100.0, 1 << 20, 1.0)
+
+
+class TestReducerKeyShares:
+    def test_sums_to_one(self):
+        for n_keys, n_red in ((1000, 7), (5, 8), (64, 64), (1 << 20, 96)):
+            assert reducer_key_shares(n_keys, n_red).sum() \
+                == pytest.approx(1.0)
+
+    def test_ceil_floor_split(self):
+        shares = reducer_key_shares(10, 4)   # 3, 3, 2, 2 keys
+        assert np.allclose(shares, np.array([3, 3, 2, 2]) / 10.0)
+
+    def test_fewer_keys_than_reducers(self):
+        shares = reducer_key_shares(3, 8)
+        assert np.allclose(shares[:3], 1 / 3.0)
+        assert np.allclose(shares[3:], 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_keys"):
+            reducer_key_shares(0, 4)
+        with pytest.raises(ValueError, match="n_reducers"):
+            reducer_key_shares(10, 0)
+
+
+class TestConservationProperty:
+    """Σ over (source, reducer) of share-sized slices == Σ post-combine
+    bytes — for any skew, node count, and reducer count (the Hypothesis
+    sweep the ISSUE pins: no byte is lost or invented by slicing)."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        node_bytes=st.lists(
+            st.floats(min_value=0.0, max_value=16 * GB,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=12),
+        skew=st.floats(min_value=0.0, max_value=3.0,
+                       allow_nan=False, allow_infinity=False),
+        n_keys=st.integers(min_value=1, max_value=1 << 20),
+        n_reducers=st.integers(min_value=1, max_value=128))
+    def test_slices_conserve_post_combine_bytes(self, node_bytes, skew,
+                                                n_keys, n_reducers):
+        raw = np.array(node_bytes)
+        post = raw * reduction_factors(raw, 100.0, n_keys, skew)
+        shares = reducer_key_shares(n_keys, n_reducers)
+        fetched = sum(float(post[src]) * float(shares[r])
+                      for src in range(len(post))
+                      for r in range(n_reducers))
+        assert fetched == pytest.approx(float(post.sum()), rel=1e-9)

@@ -1,0 +1,63 @@
+"""Mechanisms-off byte-identity against pinned HEAD fingerprints.
+
+``tests/data/fingerprints_head.json`` was captured (by
+``tools/capture_fingerprints.py``) on the tree *before* the
+shuffle-volume mechanisms landed.  Replaying the same nine pinned
+configurations — every workload, every store, every fetch mode, ELB and
+CAD — and comparing full task traces proves the combiner and the
+partition-stable shuffle are invisible until switched on: same noise
+streams, same file ids, same slice math, byte for byte.
+
+If a deliberate engine change legitimately shifts these values,
+regenerate the file with the capture tool and say so in the commit.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_REPO = Path(__file__).resolve().parents[2]
+_DATA = _REPO / "tests" / "data" / "fingerprints_head.json"
+
+
+def _capture_module():
+    path = _REPO / "tools" / "capture_fingerprints.py"
+    spec = importlib.util.spec_from_file_location("_capture_fp", path)
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules["_capture_fp"] = mod
+    spec.loader.exec_module(mod)
+    return mod
+
+
+@pytest.fixture(scope="module")
+def head():
+    with open(_DATA) as fh:
+        return json.load(fh)
+
+
+@pytest.fixture(scope="module")
+def cap():
+    return _capture_module()
+
+
+def test_reference_covers_all_cases(head, cap):
+    assert set(head) == {label for label, _, _ in cap.CASES}
+
+
+@pytest.mark.parametrize("case_idx", range(9))
+def test_mechanisms_off_is_byte_identical_to_head(case_idx, head, cap):
+    label, spec_fn, opt_fn = cap.CASES[case_idx]
+    from repro.cluster.spec import hyperion
+    from repro.core.engine import run_job
+    res = run_job(spec_fn(), cluster_spec=hyperion(cap.N_NODES),
+                  options=opt_fn())
+    got = cap.fingerprint(res)
+    # json round-trips floats losslessly; normalise through json so the
+    # comparison is representation-for-representation.
+    assert json.loads(json.dumps(got)) == head[label], (
+        f"{label}: mechanisms-off run diverged from the pinned HEAD "
+        f"fingerprint (job_time {got['job_time']!r} vs "
+        f"{head[label]['job_time']!r})")

@@ -1,0 +1,240 @@
+"""Engine-level shuffle-volume mechanisms (DESIGN.md §14).
+
+In-node combiner: honest skew-derived reduction, byte conservation from
+store to fetch, and a real combine phase on the clock.  M3R
+partition-stable mode: per-iteration shuffle rounds, a pinned reducer→
+node map, and delta-only volumes after the first round.  Plus the two
+fetch-sizing bugfixes this PR rides with: logical ``source_bytes``
+sizing after crash recovery and ``of_total`` parity across the three
+fetch modes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, hyperion
+from repro.config import SparkConf
+from repro.core.engine import EngineOptions, run_job
+from repro.core.jobspec import JobSpec
+from repro.core.shuffle import FetchPlan
+from repro.workloads import groupby_spec, kmeans_spec
+
+GB = 1024.0 ** 3
+
+
+def _run(spec, seed=3, n_nodes=4, **opt_kw):
+    return run_job(spec, cluster_spec=hyperion(n_nodes),
+                   options=EngineOptions(seed=seed, **opt_kw))
+
+
+def _fetched_task_bytes(res):
+    return sum(t.bytes for ph_name, ph in res.phases.items()
+               if ph_name.startswith("fetch") for t in ph.tasks)
+
+
+class TestShuffleMetrics:
+    def test_absent_without_a_shuffle(self):
+        res = _run(kmeans_spec(1 * GB, iterations=2))
+        assert res.shuffle is None
+
+    def test_present_with_mechanisms_off(self):
+        res = _run(groupby_spec(2 * GB, shuffle_store="ssd"))
+        s = res.shuffle
+        assert s is not None
+        assert not s.combiner and not s.partition_stable
+        assert s.pre_combine_bytes == s.post_combine_bytes
+        assert s.reduction_factor == 1.0
+        assert len(s.per_iteration_fetched) == 1
+        assert s.fetched_bytes == pytest.approx(2 * GB)
+
+
+class TestCombiner:
+    def test_combine_phase_on_the_clock(self):
+        res = _run(groupby_spec(2 * GB, shuffle_store="ssd",
+                                combiner=True, key_skew=0.5))
+        assert "combine" in res.phases
+        assert res.phases["combine"].duration > 0
+        assert len(res.phases["combine"].tasks) \
+            == len(res.phases["store"].tasks)
+
+    def test_reduction_shrinks_stored_and_fetched(self):
+        res = _run(groupby_spec(2 * GB, shuffle_store="ssd",
+                                combiner=True, key_skew=0.5))
+        s = res.shuffle
+        assert s.combiner
+        assert s.post_combine_bytes < s.pre_combine_bytes
+        assert s.pre_combine_bytes == pytest.approx(2 * GB)
+        assert s.fetched_bytes == pytest.approx(s.post_combine_bytes)
+
+    def test_fetch_tasks_conserve_post_combine_bytes(self):
+        res = _run(groupby_spec(2 * GB, shuffle_store="ssd",
+                                combiner=True, key_skew=0.8))
+        assert _fetched_task_bytes(res) \
+            == pytest.approx(res.shuffle.post_combine_bytes)
+
+    def test_fetched_volume_monotone_in_skew(self):
+        fetched = []
+        for skew in (0.0, 0.6, 1.2, 1.8):
+            res = _run(groupby_spec(2 * GB, shuffle_store="ssd",
+                                    combiner=True, key_skew=skew))
+            fetched.append(res.shuffle.fetched_bytes)
+        assert fetched == sorted(fetched, reverse=True)
+        assert fetched[-1] < fetched[0]
+
+    def test_combiner_beats_stock_on_time(self):
+        stock = _run(groupby_spec(2 * GB, shuffle_store="ssd"))
+        combined = _run(groupby_spec(2 * GB, shuffle_store="ssd",
+                                     combiner=True, key_skew=1.0))
+        assert combined.job_time < stock.job_time
+
+    def test_conservation_parity_across_fetch_modes(self):
+        """The of_total unification (satellite 2): all three fetch modes
+        move exactly the post-combine volume."""
+        for store, mode in (("ssd", "network"),
+                            ("lustre", "lustre-local"),
+                            ("lustre", "lustre-shared")):
+            res = _run(groupby_spec(2 * GB, shuffle_store=store,
+                                    fetch_mode=mode,
+                                    combiner=True, key_skew=0.5))
+            assert _fetched_task_bytes(res) \
+                == pytest.approx(res.shuffle.post_combine_bytes), mode
+
+
+def _iter_fetch_map(res, iteration):
+    ph = res.phases[f"fetch[{iteration}]"]
+    return {t.task_id: t.node for t in ph.tasks}
+
+
+class TestPartitionStable:
+    ITERS = 3
+    DELTA = 0.1
+
+    def _kmeans(self, stable):
+        return _run(kmeans_spec(1 * GB, iterations=self.ITERS,
+                                shuffle_ratio=0.5,
+                                partition_stable=stable,
+                                delta_ratio=self.DELTA), seed=11)
+
+    def test_per_iteration_rounds_exist(self):
+        res = self._kmeans(True)
+        for i in range(self.ITERS):
+            assert f"store[{i}]" in res.phases
+            assert f"fetch[{i}]" in res.phases
+        assert len(res.shuffle.per_iteration_fetched) == self.ITERS
+
+    def test_partition_map_identical_across_iterations(self):
+        res = self._kmeans(True)
+        first = _iter_fetch_map(res, 0)
+        for i in range(1, self.ITERS):
+            assert _iter_fetch_map(res, i) == first
+
+    def test_delta_only_after_first_round(self):
+        res = self._kmeans(True)
+        per = res.shuffle.per_iteration_fetched
+        assert per[0] == pytest.approx(0.5 * GB)
+        for later in per[1:]:
+            assert later == pytest.approx(self.DELTA * per[0])
+            assert later < per[0]
+
+    def test_unstable_baseline_reshuffles_in_full(self):
+        res = self._kmeans(False)
+        per = res.shuffle.per_iteration_fetched
+        assert len(per) == self.ITERS
+        for vol in per:
+            assert vol == pytest.approx(0.5 * GB)
+
+    def test_stable_moves_fewer_bytes_and_less_time(self):
+        stable = self._kmeans(True)
+        unstable = self._kmeans(False)
+        assert stable.shuffle.fetched_bytes \
+            < unstable.shuffle.fetched_bytes
+        assert stable.job_time < unstable.job_time
+
+    def test_metrics_flag_round_trips(self):
+        res = self._kmeans(True)
+        assert res.shuffle.partition_stable
+        assert not res.shuffle.combiner
+
+
+class TestFetchSizingBugfix:
+    """Satellite 1: a crash zeroes the *physical* ``node_store_bytes``
+    entry while the logical slice survives — partial-read sizing must
+    come from ``source_bytes``."""
+
+    def _plan(self, **kw):
+        cluster = Cluster(hyperion(4), seed=0)
+        spec = JobSpec(intermediate_ratio=1.0, shuffle_store="ssd")
+        return FetchPlan(cluster=cluster, spec=spec, conf=SparkConf(),
+                         n_reducers=8, **kw)
+
+    def test_bundle_total_prefers_logical_source_bytes(self):
+        phys = np.array([0.0, 2 * GB, 1 * GB, 1 * GB])   # node 0 crashed
+        logical = np.array([1 * GB, 1 * GB, 1 * GB, 1 * GB])
+        plan = self._plan(node_store_bytes=phys, source_bytes=logical)
+        # The old code sized of_total from the physical array: 0 for the
+        # crashed source, inflated for its recovery host.
+        assert plan.bundle_total(0) == pytest.approx(1 * GB)
+        assert plan.bundle_total(1) == pytest.approx(1 * GB)
+        assert plan.slice_bytes(0) == pytest.approx(1 * GB / 8)
+
+    def test_falls_back_to_physical_without_fault_machinery(self):
+        phys = np.full(4, 2 * GB)
+        plan = self._plan(node_store_bytes=phys)
+        assert plan.bundle_total(2) == pytest.approx(2 * GB)
+
+
+class TestShuffleIdNamespacing:
+    """Tagged + per-round shuffle file ids stay collision-free — the
+    serve layer runs concurrent mechanism jobs on one warm cluster."""
+
+    def _ids(self, tag, iteration, n_nodes=3, n_reducers=4):
+        cluster = Cluster(hyperion(n_nodes), seed=0)
+        spec = JobSpec(intermediate_ratio=1.0, shuffle_store="ssd")
+        plan = FetchPlan(cluster=cluster, spec=spec, conf=SparkConf(),
+                         node_store_bytes=np.full(n_nodes, GB),
+                         n_reducers=n_reducers, file_tag=tag,
+                         iteration=iteration)
+        ids = set()
+        for node in range(n_nodes):
+            ids.add(plan.bundle_id(node))
+            for r in range(n_reducers):
+                ids.add(plan.part_id(node, r))
+        return ids
+
+    def test_tags_and_rounds_are_disjoint(self):
+        seen = {}
+        for tag in ("job-a", "job-b"):
+            for iteration in (0, 1, 2):
+                ids = self._ids(tag, iteration)
+                for other, other_ids in seen.items():
+                    assert not ids & other_ids, (tag, iteration, other)
+                seen[(tag, iteration)] = ids
+
+    def test_untagged_single_round_keeps_historical_ids(self):
+        ids = self._ids("", None, n_nodes=2, n_reducers=2)
+        assert ("shuffle", 0) in ids
+        assert ("shuffle", 1, 1) in ids
+
+    def test_concurrent_tagged_mechanism_jobs_end_to_end(self):
+        """Two tagged per-iteration jobs on one warm cluster: disjoint
+        lustre file namespaces, both complete."""
+        from repro.core.engine import SparkSim
+        cluster = Cluster(hyperion(4), seed=0)
+        engines = []
+        for tag in ("t1", "t2"):
+            spec = kmeans_spec(0.5 * GB, iterations=2, shuffle_ratio=0.5,
+                               shuffle_store="lustre",
+                               partition_stable=True)
+            spec = spec.with_(fetch_mode="lustre-local")
+            eng = SparkSim(cluster, spec, EngineOptions(seed=5),
+                           job_tag=tag)
+            engines.append(eng)
+        done = [e.start() for e in engines]
+        for ev in done:
+            cluster.sim.run(until=ev)
+        files = [set(e._lustre_files) for e in engines]
+        assert files[0] and files[1]
+        assert not files[0] & files[1]
+        for e in engines:
+            res = e.collect()
+            assert len(res.shuffle.per_iteration_fetched) == 2

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.core.jobspec import JobSpec
-from repro.serve.jobgen import CATALOG, SCALES, JobMix
+from repro.serve.jobgen import (CATALOG, MECHANISMS_CATALOG, SCALES,
+                                JobMix)
 
 
 class TestDeterminism:
@@ -54,3 +55,29 @@ class TestCatalog:
     def test_bad_base_gb(self):
         with pytest.raises(ValueError, match="base_gb"):
             JobMix(seed=0, base_gb=0)
+
+
+class TestMechanismsCatalog:
+    def test_same_labels_and_weights_as_stock(self):
+        assert [(n, w) for n, w, _f in MECHANISMS_CATALOG] \
+            == [(n, w) for n, w, _f in CATALOG]
+
+    def test_mechanisms_knob_keeps_the_arrival_trace(self):
+        stock = JobMix(seed=4, base_gb=8.0)
+        mech = JobMix(seed=4, base_gb=8.0, mechanisms=True)
+        for i in range(20):
+            assert stock.job_for("t", i)[:2] == mech.job_for("t", i)[:2]
+
+    def test_mechanism_specs_have_mechanisms_on(self):
+        mix = JobMix(seed=0, base_gb=8.0, mechanisms=True)
+        seen = set()
+        for i in range(60):
+            label, _gb, spec = mix.job_for("t", i)
+            seen.add(label)
+            if label in ("scan", "agg", "join"):
+                assert spec.combiner
+            else:   # kmeans / logreg: iterative M3R jobs
+                assert spec.partition_stable
+                assert spec.shuffle_store is not None
+                assert spec.delta_ratio < 1.0
+        assert seen == {name for name, _w, _f in CATALOG}

@@ -60,6 +60,21 @@ class TestDatagen:
         with pytest.raises(ValueError):
             generate_labelled_points(10, dims=0)
 
+    def test_kv_pairs_rejections_are_pointed(self):
+        with pytest.raises(ValueError, match=r"n_pairs.*got -5"):
+            generate_kv_pairs(-5)
+        with pytest.raises(ValueError, match=r"n_keys must be >= 1, got 0"):
+            generate_kv_pairs(10, n_keys=0)
+        with pytest.raises(ValueError, match=r"n_keys must be >= 1, got -3"):
+            generate_kv_pairs(10, n_keys=-3)
+        with pytest.raises(ValueError, match=r"skew must be >= 0, got -0.5"):
+            generate_kv_pairs(10, skew=-0.5)
+
+    def test_kv_pairs_boundary_values_accepted(self):
+        assert generate_kv_pairs(0) == []
+        assert len(generate_kv_pairs(5, n_keys=1)) == 5
+        assert len(generate_kv_pairs(5, skew=0.0)) == 5
+
 
 class TestSpecs:
     def test_groupby_intermediate_equals_input(self):

@@ -1,0 +1,92 @@
+"""Capture reference job fingerprints for the byte-identity regression.
+
+Run on a known-good tree to (re)generate ``tests/data/fingerprints_head.json``;
+``tests/core/test_mechanism_identity.py`` then asserts that runs with both
+shuffle-volume mechanisms disabled reproduce these values byte-for-byte.
+
+    PYTHONPATH=src python tools/capture_fingerprints.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.cluster.spec import hyperion
+from repro.core.engine import EngineOptions, run_job
+from repro.workloads import (grep_spec, groupby_spec, kmeans_spec,
+                             logistic_regression_spec, wordcount_spec)
+
+GB = 1024.0 ** 3
+
+#: (label, spec factory, options) — one entry per pinned configuration.
+CASES = [
+    ("groupby-ssd-stock",
+     lambda: groupby_spec(4 * GB, shuffle_store="ssd"),
+     lambda: EngineOptions(seed=3)),
+    ("groupby-ramdisk-elb",
+     lambda: groupby_spec(4 * GB, shuffle_store="ramdisk"),
+     lambda: EngineOptions(seed=3, elb=True)),
+    ("groupby-ssd-cad",
+     lambda: groupby_spec(4 * GB, shuffle_store="ssd"),
+     lambda: EngineOptions(seed=3, cad=True)),
+    ("groupby-lustre-local",
+     lambda: groupby_spec(2 * GB, shuffle_store="lustre",
+                          fetch_mode="lustre-local"),
+     lambda: EngineOptions(seed=3)),
+    ("groupby-lustre-shared",
+     lambda: groupby_spec(2 * GB, shuffle_store="lustre",
+                          fetch_mode="lustre-shared"),
+     lambda: EngineOptions(seed=3)),
+    ("wordcount-hdfs",
+     lambda: wordcount_spec(4 * GB),
+     lambda: EngineOptions(seed=7)),
+    ("grep-hdfs",
+     lambda: grep_spec(4 * GB),
+     lambda: EngineOptions(seed=7, delay_scheduling=True)),
+    ("kmeans-cached",
+     lambda: kmeans_spec(2 * GB, iterations=3),
+     lambda: EngineOptions(seed=11)),
+    ("logreg-cached",
+     lambda: logistic_regression_spec(1 * GB, iterations=3),
+     lambda: EngineOptions(seed=11)),
+]
+
+N_NODES = 4
+
+
+def fingerprint(result) -> dict:
+    return {
+        "job_time": result.job_time,
+        "phases": {name: [ph.start, ph.end, len(ph.tasks)]
+                   for name, ph in result.phases.items()},
+        "tasks": sorted(
+            [t.phase, t.task_id, t.node, t.queued_at, t.started_at,
+             t.finished_at, t.bytes] for t in result.all_tasks()),
+        "node_intermediate": [float(x) for x in result.node_intermediate],
+        "node_task_counts": [int(x) for x in result.node_task_counts],
+    }
+
+
+def capture() -> dict:
+    out = {}
+    for label, spec_fn, opt_fn in CASES:
+        res = run_job(spec_fn(), cluster_spec=hyperion(N_NODES),
+                      options=opt_fn())
+        out[label] = fingerprint(res)
+        print(f"{label}: job_time={res.job_time:.6f}")
+    return out
+
+
+def main() -> None:
+    path = os.path.join(os.path.dirname(__file__), "..",
+                        "tests", "data", "fingerprints_head.json")
+    path = os.path.normpath(path)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(capture(), fh, indent=1, sort_keys=True)
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()
