@@ -249,6 +249,28 @@ def phase_report(log: "RunLog") -> str:
             f"{fmt(u['device_write_bytes_per_s'], MB)} "
             f"{fmt(u['device_read_bytes_per_s'], MB)} "
             f"{fmt(u['net_bytes_per_s'], MB)}")
+    if log.events_of("launch"):
+        # Job runs carry the full attempt stream: replace the flat
+        # counter dump with the critical-path attribution (where the
+        # wall-clock actually went) and the decision audit.
+        from repro.obs.audit import audit_lines, build_audit
+        from repro.obs.critpath import (attribution, bottleneck,
+                                        critical_path)
+        from repro.obs.spans import SpanRecorder
+        rec = SpanRecorder.from_runlog(log)
+        segs = critical_path(rec)
+        attr = attribution(segs)
+        total = sum(attr.values())
+        lines.append("critical-path attribution:")
+        for cat, secs in attr.items():
+            share = (100.0 * secs / total) if total > 0 else 0.0
+            lines.append(f"  {cat:<18s} {secs:10.3f}s  {share:5.1f}%")
+        node, node_s, dev, dev_s = bottleneck(segs, log.meta)
+        if node is not None:
+            lines.append(f"  bottleneck: node {node} ({node_s:.3f}s), "
+                         f"device {dev} ({dev_s:.3f}s)")
+        lines.extend(audit_lines(build_audit(log.events)))
+        return "\n".join(lines)
     summary = log.summary
     if summary:
         counters = summary.get("counters", {})

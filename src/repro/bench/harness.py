@@ -9,7 +9,7 @@ accumulate across commits (see DESIGN.md §8 for how to read it):
 .. code-block:: json
 
     {
-      "schema": 3,
+      "schema": 4,
       "name": "shuffle_wave",
       "quick": false,
       "unix_time": 1754000000.0,
@@ -20,7 +20,10 @@ accumulate across commits (see DESIGN.md §8 for how to read it):
       "speedup_events_per_s": 3.4,
       "check": {"ran": true, "passed": true},
       "telemetry": {"wall_s": ..., "events_per_s": ...,
-                    "overhead_pct": 2.1, "fingerprint_matches": true}
+                    "overhead_pct": 2.1, "fingerprint_matches": true},
+      "spans": {"wall_s": ..., "events_per_s": ...,
+                "overhead_pct": 3.0, "fingerprint_matches": true,
+                "n_spans": 1234}
     }
 
 ``reference``/``speedup_events_per_s`` are ``null`` unless a baseline
@@ -53,6 +56,14 @@ Schema 3 adds:
   greater than 5 % as ``REGRESSION``.  Informational only: the exit
   code stays 0 so noisy CI boxes don't flap, but the highlight makes
   drift impossible to miss in the log.
+
+Schema 4 adds ``spans``: a fourth timed run that attaches the same
+telemetry bundle *and* folds the event stream into the span tree +
+critical path (:mod:`repro.obs.spans` / :mod:`repro.obs.critpath`)
+inside the timing window — what a ``repro explain`` costs end to end
+(``overhead_pct`` vs the bare optimized wall, ``n_spans`` assembled,
+and ``fingerprint_matches`` re-asserting that explanation never
+perturbs the simulation).
 """
 
 from __future__ import annotations
@@ -73,7 +84,7 @@ from repro.sim import perfmode
 __all__ = ["BenchReport", "bench_scenario", "kernel_mode",
            "profile_scenario", "load_compare", "run_bench", "main"]
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 
 def kernel_mode(reference: bool = False) -> str:
@@ -131,6 +142,9 @@ class BenchReport:
     check_passed: Optional[bool] = None
     telemetry: Optional[TimedRun] = None
     telemetry_matches: Optional[bool] = None
+    spans: Optional[TimedRun] = None
+    spans_matches: Optional[bool] = None
+    spans_count: int = 0
 
     @property
     def speedup(self) -> Optional[float]:
@@ -143,6 +157,13 @@ class BenchReport:
         if self.telemetry is None or self.optimized.wall_s <= 0:
             return None
         return (self.telemetry.wall_s - self.optimized.wall_s) \
+            / self.optimized.wall_s * 100.0
+
+    @property
+    def spans_overhead_pct(self) -> Optional[float]:
+        if self.spans is None or self.optimized.wall_s <= 0:
+            return None
+        return (self.spans.wall_s - self.optimized.wall_s) \
             / self.optimized.wall_s * 100.0
 
     def to_json(self) -> Dict[str, Any]:
@@ -163,6 +184,13 @@ class BenchReport:
                 "events_per_s": round(self.telemetry.events_per_s, 1),
                 "overhead_pct": round(self.telemetry_overhead_pct, 2),
                 "fingerprint_matches": self.telemetry_matches,
+            }),
+            "spans": (None if self.spans is None else {
+                "wall_s": round(self.spans.wall_s, 6),
+                "events_per_s": round(self.spans.events_per_s, 1),
+                "overhead_pct": round(self.spans_overhead_pct, 2),
+                "fingerprint_matches": self.spans_matches,
+                "n_spans": self.spans_count,
             }),
         }
 
@@ -204,6 +232,27 @@ def _timed_telemetry(name: str, quick: bool,
     return TimedRun("telemetry", wall, result), telemetry
 
 
+def _timed_spans(name: str, quick: bool, probe_period: float = 0.25):
+    """Time the full explainer path: instrumented run + span assembly.
+
+    The span tree and critical path are folded *inside* the window —
+    this row answers "what does a ``repro explain`` cost end to end"
+    and tracks the span recorder's events/s next to the raw engine's.
+    Returns ``(TimedRun, n_spans)``.
+    """
+    from repro.obs.critpath import critical_path
+    from repro.obs.spans import SpanRecorder
+    from repro.obs.telemetry import Telemetry
+    gc.collect()
+    start = time.perf_counter()
+    telemetry = Telemetry(probe_period=probe_period)
+    result = run_scenario(name, quick=quick, telemetry=telemetry)
+    rec = SpanRecorder.from_telemetry(telemetry)
+    critical_path(rec)
+    wall = time.perf_counter() - start
+    return TimedRun("spans", wall, result), len(rec.spans)
+
+
 def bench_scenario(name: str, quick: bool = False, baseline: bool = False,
                    check: bool = False, telemetry: bool = True,
                    capture_dir: Optional[str] = None) -> BenchReport:
@@ -236,6 +285,9 @@ def bench_scenario(name: str, quick: bool = False, baseline: bool = False,
                 os.path.join(capture_dir, f"TRACE_{name}.json"), bundle)
             write_runlog(
                 os.path.join(capture_dir, f"LOG_{name}.jsonl"), bundle)
+        report.spans, report.spans_count = _timed_spans(name, quick)
+        report.spans_matches = (
+            optimized.result.fingerprint == report.spans.result.fingerprint)
     return report
 
 
@@ -374,6 +426,10 @@ def run_bench(scenarios: Optional[List[str]] = None, quick: bool = False,
             match = "OK" if report.telemetry_matches else "DIVERGED"
             line += (f" | telemetry {report.telemetry_overhead_pct:+.1f}% "
                      f"({match})")
+        if report.spans is not None:
+            match = "OK" if report.spans_matches else "DIVERGED"
+            line += (f" | spans {report.spans_overhead_pct:+.1f}% "
+                     f"({match})")
         print(line)
         if name in old_reports:
             delta = compare_line(report, old_reports[name])
@@ -413,6 +469,12 @@ def main(args) -> int:
            if r.telemetry is not None and not r.telemetry_matches]
     if bad:
         print(f"TELEMETRY CHECK FAILED: instrumented runs diverged "
+              f"on: {', '.join(bad)}")
+        return 1
+    bad = [r.name for r in reports
+           if r.spans is not None and not r.spans_matches]
+    if bad:
+        print(f"SPANS CHECK FAILED: explained runs diverged "
               f"on: {', '.join(bad)}")
         return 1
     return 0

@@ -14,7 +14,11 @@ Subcommands::
         [--tenants name[:weight[:quota]],...] [--policy fifo|fair]
         [--base-gb G] [--nodes N] [--seed S] [--handoff-delay S]
         [--elb] [--cad] [--mem-frac F] [--mem-elastic] [--json FILE]
+        [--explain]
     python -m repro report RUNLOG.jsonl  (per-phase utilization summary)
+    python -m repro explain [RUNLOG.jsonl]   (critical path + attribution
+        + scheduler decision audit; without a runlog it simulates the
+        job itself, taking the same flags as `run`)
     python -m repro bench [--quick] [--check] [--baseline]
         [--scenario NAME]... [--out-dir DIR] [--profile] [--compare OLD]
     python -m repro experiments ...      (alias of repro.experiments CLI)
@@ -61,6 +65,65 @@ WORKLOADS = {
 NO_SHUFFLE_WORKLOADS = frozenset({"lr", "kmeans"})
 
 
+def _add_job_args(p: argparse.ArgumentParser) -> None:
+    """The job-shape flags shared by ``run`` and ``explain``."""
+    p.add_argument("--workload", choices=sorted(WORKLOADS),
+                   default="groupby")
+    p.add_argument("--data-gb", type=float, default=40.0)
+    p.add_argument("--nodes", type=int, default=8)
+    p.add_argument("--store", choices=["ramdisk", "ssd", "lustre"],
+                   default=None,
+                   help="shuffle storage device (default: the "
+                        "workload's own; rejected for workloads "
+                        "without a shuffle)")
+    p.add_argument("--elb", action="store_true")
+    p.add_argument("--cad", action="store_true")
+    p.add_argument("--delay-scheduling", action="store_true")
+    p.add_argument("--speculation", action="store_true")
+    p.add_argument("--failure-rate", type=float, default=0.0)
+    p.add_argument("--crash", action="append", default=[],
+                   metavar="NODE@T[:RESTART_T]",
+                   help="crash NODE at sim time T, optionally restarting "
+                        "it (empty) at RESTART_T; repeatable")
+    p.add_argument("--mem-frac", type=float, default=None,
+                   help="manage executor memory at this fraction of the "
+                        "node's Spark heap (0 < f <= 1; shrunk heaps "
+                        "spill); default: memory unmanaged")
+    p.add_argument("--mem-elastic", action="store_true",
+                   help="with managed memory, launch tasks shrunk "
+                        "instead of declining offers (implies "
+                        "--mem-frac 1.0 unless given)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--speed-sigma", type=float, default=0.18)
+
+
+def _job_config(args):
+    """Validate the shared job flags and build ``(spec, options)``."""
+    if args.store is not None and args.workload in NO_SHUFFLE_WORKLOADS:
+        raise SystemExit(
+            f"--store {args.store} has no effect on --workload "
+            f"{args.workload}: it keeps its per-iteration aggregates in "
+            f"memory and never materialises shuffle data; drop --store or "
+            f"pick a shuffling workload (groupby, grep, wordcount)")
+    if not 0.0 <= args.failure_rate <= 1.0:
+        raise SystemExit(
+            f"--failure-rate must be within [0, 1], got {args.failure_rate}")
+    if args.nodes <= 0:
+        raise SystemExit(
+            f"--nodes must be a positive node count, got {args.nodes}")
+    if args.data_gb <= 0:
+        raise SystemExit(
+            f"--data-gb must be a positive data size in GB, "
+            f"got {args.data_gb}")
+    spec = WORKLOADS[args.workload](args.data_gb * GB, args.store)
+    options = EngineOptions(
+        delay_scheduling=args.delay_scheduling, elb=args.elb, cad=args.cad,
+        speculation=args.speculation, task_failure_rate=args.failure_rate,
+        seed=args.seed, fault_plan=_parse_crashes(args.crash),
+        memory=_memory_config(args))
+    return spec, options
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -73,34 +136,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     desc.add_argument("--nodes", type=int, default=100)
 
     run = sub.add_parser("run", help="simulate one job")
-    run.add_argument("--workload", choices=sorted(WORKLOADS),
-                     default="groupby")
-    run.add_argument("--data-gb", type=float, default=40.0)
-    run.add_argument("--nodes", type=int, default=8)
-    run.add_argument("--store", choices=["ramdisk", "ssd", "lustre"],
-                     default=None,
-                     help="shuffle storage device (default: the "
-                          "workload's own; rejected for workloads "
-                          "without a shuffle)")
-    run.add_argument("--elb", action="store_true")
-    run.add_argument("--cad", action="store_true")
-    run.add_argument("--delay-scheduling", action="store_true")
-    run.add_argument("--speculation", action="store_true")
-    run.add_argument("--failure-rate", type=float, default=0.0)
-    run.add_argument("--crash", action="append", default=[],
-                     metavar="NODE@T[:RESTART_T]",
-                     help="crash NODE at sim time T, optionally restarting "
-                          "it (empty) at RESTART_T; repeatable")
-    run.add_argument("--mem-frac", type=float, default=None,
-                     help="manage executor memory at this fraction of the "
-                          "node's Spark heap (0 < f <= 1; shrunk heaps "
-                          "spill); default: memory unmanaged")
-    run.add_argument("--mem-elastic", action="store_true",
-                     help="with managed memory, launch tasks shrunk "
-                          "instead of declining offers (implies "
-                          "--mem-frac 1.0 unless given)")
-    run.add_argument("--seed", type=int, default=0)
-    run.add_argument("--speed-sigma", type=float, default=0.18)
+    _add_job_args(run)
     run.add_argument("--gantt", action="store_true",
                      help="render an ASCII task timeline")
     run.add_argument("--csv", metavar="FILE",
@@ -151,10 +187,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                             "instead of declining offers")
     serve.add_argument("--json", metavar="FILE",
                        help="write the full stream result as JSON")
+    serve.add_argument("--explain", action="store_true",
+                       help="also print per-tenant time attribution "
+                            "(wait vs. service) and the scheduler "
+                            "decision audit")
 
     report = sub.add_parser(
         "report", help="summarize a run log written by --metrics-out")
     report.add_argument("runlog", metavar="RUNLOG.jsonl")
+
+    explain = sub.add_parser(
+        "explain", help="critical path, time attribution, and scheduler "
+                        "decision audit for one run")
+    explain.add_argument("runlog", nargs="?", metavar="RUNLOG.jsonl",
+                         help="explain an existing run log (written by "
+                              "run --metrics-out); omitted: simulate the "
+                              "job described by the flags below")
+    _add_job_args(explain)
+    explain.add_argument("--probe-period", type=float, default=0.25,
+                         help="gauge sampling period in sim seconds "
+                              "(default: 0.25)")
+    explain.add_argument("--segments", type=int, default=40,
+                         help="critical-path segments to print before "
+                              "eliding (default: 40)")
+    explain.add_argument("--json", metavar="FILE",
+                         help="also write full job metrics as JSON "
+                              "(run mode only; byte-identical to "
+                              "`run --json` for the same flags)")
 
     bench = sub.add_parser(
         "bench", help="run the tracked perf benchmarks (BENCH_*.json)")
@@ -211,6 +270,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return bench_main(args)
     if args.command == "report":
         return _report(args)
+    if args.command == "explain":
+        return _explain(args)
     if args.command == "serve":
         return _serve(args)
     return _run(args)
@@ -309,15 +370,26 @@ def _serve(args) -> int:
             [t for t in args.tenants.split(",") if t])
     except ValueError as exc:
         raise SystemExit(f"bad --tenants: {exc}")
+    telemetry = None
+    if args.explain:
+        from repro.obs.telemetry import Telemetry
+        telemetry = Telemetry()
     server = StreamServer(
         tenants, arrival_rate=args.arrival_rate, n_jobs=args.jobs,
         policy=args.policy, base_gb=args.base_gb, seed=args.seed,
         moving_delay=args.handoff_delay,
         cluster_spec=hyperion(args.nodes),
         options=EngineOptions(elb=args.elb, cad=args.cad,
-                              memory=_memory_config(args)))
+                              memory=_memory_config(args)),
+        telemetry=telemetry)
     result = server.run()
     print("\n".join(result.summary_lines()))
+    if telemetry is not None:
+        from repro.obs.audit import audit_lines, build_audit
+        telemetry.finish()
+        print()
+        print("\n".join(_tenant_attribution_lines(result)))
+        print("\n".join(audit_lines(build_audit(telemetry.events))))
     if args.json:
         with open(args.json, "w") as fh:
             fh.write(result.to_json())
@@ -325,29 +397,35 @@ def _serve(args) -> int:
     return 0
 
 
+def _tenant_attribution_lines(result) -> list:
+    """Per-tenant sojourn decomposition: where each tenant's latency
+    went (queue wait vs. service), and who is slowed down the most."""
+    lines = ["tenant attribution (latency = wait + service):"]
+    worst = None
+    for tenant in result.tenants():
+        outs = [o for o in result.outcomes if o.tenant == tenant]
+        n = len(outs)
+        wait = sum(o.first_grant_at - o.arrived_at for o in outs) / n
+        service = sum(o.service for o in outs) / n
+        slowdown = sum(o.slowdown for o in outs) / n
+        lines.append(f"  {tenant:<10s} jobs={n:<4d} "
+                     f"wait_mean={wait:9.3f}s "
+                     f"service_mean={service:9.3f}s "
+                     f"slowdown_mean={slowdown:6.2f}x")
+        if worst is None or slowdown > worst[1]:
+            worst = (tenant, slowdown, wait, service)
+    if worst is not None:
+        tenant, slowdown, wait, service = worst
+        total = wait + service
+        share = 100.0 * wait / total if total > 0 else 0.0
+        lines.append(f"slowest tenant: {tenant} "
+                     f"(slowdown {slowdown:.2f}x; {share:.1f}% of its "
+                     f"sojourn spent queueing for slots)")
+    return lines
+
+
 def _run(args) -> int:
-    if args.store is not None and args.workload in NO_SHUFFLE_WORKLOADS:
-        raise SystemExit(
-            f"--store {args.store} has no effect on --workload "
-            f"{args.workload}: it keeps its per-iteration aggregates in "
-            f"memory and never materialises shuffle data; drop --store or "
-            f"pick a shuffling workload (groupby, grep, wordcount)")
-    if not 0.0 <= args.failure_rate <= 1.0:
-        raise SystemExit(
-            f"--failure-rate must be within [0, 1], got {args.failure_rate}")
-    if args.nodes <= 0:
-        raise SystemExit(
-            f"--nodes must be a positive node count, got {args.nodes}")
-    if args.data_gb <= 0:
-        raise SystemExit(
-            f"--data-gb must be a positive data size in GB, "
-            f"got {args.data_gb}")
-    spec = WORKLOADS[args.workload](args.data_gb * GB, args.store)
-    options = EngineOptions(
-        delay_scheduling=args.delay_scheduling, elb=args.elb, cad=args.cad,
-        speculation=args.speculation, task_failure_rate=args.failure_rate,
-        seed=args.seed, fault_plan=_parse_crashes(args.crash),
-        memory=_memory_config(args))
+    spec, options = _job_config(args)
     telemetry = None
     if args.trace_out or args.metrics_out:
         from repro.obs.telemetry import Telemetry
@@ -390,6 +468,53 @@ def _report(args) -> int:
     from repro.obs.runlog import load_runlog
     log = load_runlog(args.runlog)
     print(phase_report(log))
+    return 0
+
+
+def _explain(args) -> int:
+    from repro.obs.audit import audit_lines, build_audit
+    from repro.obs.critpath import explain_lines
+    from repro.obs.spans import SpanRecorder
+    if args.segments < 1:
+        raise SystemExit(
+            f"--segments must be >= 1, got {args.segments}")
+    if args.runlog is not None:
+        # Post-mortem mode: everything comes from the structured run log.
+        if args.json:
+            raise SystemExit(
+                "--json needs a fresh simulation; drop the RUNLOG "
+                "argument to run one")
+        from repro.obs.runlog import load_runlog
+        log = load_runlog(args.runlog)
+        rec = SpanRecorder.from_runlog(log)
+        records = build_audit(log.events)
+        meta = log.meta
+    else:
+        # Run mode: simulate the job under telemetry.  The trace sink is
+        # observation-only, so the result (and `--json`) is
+        # byte-identical to a telemetry-off `repro run` (CI asserts it).
+        from repro.obs.telemetry import Telemetry
+        spec, options = _job_config(args)
+        if args.probe_period <= 0:
+            raise SystemExit(
+                f"--probe-period must be positive, got {args.probe_period}")
+        telemetry = Telemetry(probe_period=args.probe_period)
+        result = run_job(spec, cluster_spec=hyperion(args.nodes),
+                         options=options,
+                         speed_model=LognormalSpeed(sigma=args.speed_sigma),
+                         telemetry=telemetry)
+        rec = SpanRecorder.from_telemetry(telemetry)
+        records = build_audit(telemetry.events)
+        meta = telemetry.meta
+        if args.json:
+            with open(args.json, "w") as fh:
+                fh.write(to_json(result))
+    lines = explain_lines(rec, meta, max_segments=args.segments)
+    lines.append("")
+    lines.extend(audit_lines(records))
+    print("\n".join(lines))
+    if args.runlog is None and args.json:
+        print(f"wrote job metrics: {args.json}")
     return 0
 
 

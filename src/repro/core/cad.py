@@ -21,9 +21,13 @@ the paper measures a 41.2 % faster storing phase at 700 GB–1.5 TB.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Optional
+from typing import TYPE_CHECKING, Deque, Dict, Optional
 
+from repro.obs.registry import NULL_REGISTRY
 from repro.sim import simtime
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.registry import MetricsRegistry
 
 __all__ = ["CongestionAwareDispatcher"]
 
@@ -35,7 +39,8 @@ class CongestionAwareDispatcher:
                  relax_ratio: float = 0.5, window: int = 25,
                  max_delay: float = 10.0,
                  target_concurrency: int = 4,
-                 max_spacing: float = 0.25) -> None:
+                 max_spacing: float = 0.25,
+                 metrics: Optional["MetricsRegistry"] = None) -> None:
         if step <= 0:
             raise ValueError("step must be positive")
         if trigger_ratio <= 1.0:
@@ -63,9 +68,13 @@ class CongestionAwareDispatcher:
         self._last_high: Optional[float] = None
         self._next_allowed: Dict[int, float] = {}
         self._in_flight: Dict[int, int] = {}
-        # Statistics.
+        # Statistics, mirrored into the registry so `repro report` sees
+        # them (a disabled registry hands back the shared no-op).
         self.increases = 0
         self.decreases = 0
+        reg = metrics if metrics is not None else NULL_REGISTRY
+        self._m_increases = reg.counter("cad.delay_increases_total")
+        self._m_decreases = reg.counter("cad.delay_decreases_total")
 
     # -- dispatch gating ------------------------------------------------------
     @property
@@ -139,8 +148,10 @@ class CongestionAwareDispatcher:
             self.delay = min(self.max_delay, self.delay + self.step)
             self._last_high = avg
             self.increases += 1
+            self._m_increases.inc()
         elif (self.delay > 0 and self._last_high is not None
               and avg <= self.relax_ratio * self._last_high):
             self.delay = max(0.0, self.delay - self.step)
             self._last_high = max(self._baseline, avg / self.relax_ratio)
             self.decreases += 1
+            self._m_decreases.inc()

@@ -310,7 +310,8 @@ class SparkSim:
         if self.options.elb:
             base = EnhancedLoadBalancer(base, self.node_intermediate,
                                         threshold=self.options.elb_threshold,
-                                        liveness=self._liveness)
+                                        liveness=self._liveness,
+                                        metrics=self.metrics)
             if self.metrics.enabled:
                 obs_wiring.register_elb(self.metrics, base)
         return base
@@ -437,13 +438,27 @@ class SparkSim:
         so the classic path is untouched byte-for-byte."""
         return self._shuffling() and self.spec.iterations > 1
 
+    def _phase_trace(self, edge: str, phase: str, round_=None) -> None:
+        """Emit a phase boundary event (caller checks ``sim._tracing``).
+
+        Under the serve layer the engine's ``job_tag`` rides along so
+        interleaved phases of concurrent warm-cluster jobs stay
+        attributable; single-job payloads are unchanged.
+        """
+        data = {"phase": phase}
+        if round_ is not None:
+            data["round"] = round_
+        if self.job_tag:
+            data["job"] = self.job_tag
+        self.sim.trace(edge, **data)
+
     def _job(self):
         spec = self.spec
         per_iter = self._per_iteration_shuffle()
         compute_records: List[TaskRecord] = []
         compute_start = self.sim.now
         if self.sim._tracing:
-            self.sim.trace("phase-start", phase="compute")
+            self._phase_trace("phase-start", "compute")
         for iteration in range(spec.iterations):
             records = yield self._run_compute_stage(iteration)
             compute_records.extend(records)
@@ -458,7 +473,7 @@ class SparkSim:
         self._phases["compute"] = PhaseMetrics(
             "compute", compute_start, self.sim.now, compute_records)
         if self.sim._tracing:
-            self.sim.trace("phase-end", phase="compute")
+            self._phase_trace("phase-end", "compute")
         if per_iter:
             return None
         # Map outputs lost to crashes must be re-materialised before the
@@ -469,13 +484,13 @@ class SparkSim:
             yield from self._maybe_combine()
             store_start = self.sim.now
             if self.sim._tracing:
-                self.sim.trace("phase-start", phase="store")
+                self._phase_trace("phase-start", "store")
             records = yield self._run_store_stage()
             self._finish_stage()
             self._phases["store"] = PhaseMetrics(
                 "store", store_start, self.sim.now, records)
             if self.sim._tracing:
-                self.sim.trace("phase-end", phase="store")
+                self._phase_trace("phase-end", "store")
             # Shuffle files lost mid-store are restored before reducers
             # build their fetch plans from the store-bytes arrays.
             yield from self._recovery_barrier()
@@ -485,13 +500,13 @@ class SparkSim:
 
             fetch_start = self.sim.now
             if self.sim._tracing:
-                self.sim.trace("phase-start", phase="fetch")
+                self._phase_trace("phase-start", "fetch")
             records = yield self._run_fetch_stage()
             self._finish_stage()
             self._phases["fetch"] = PhaseMetrics(
                 "fetch", fetch_start, self.sim.now, records)
             if self.sim._tracing:
-                self.sim.trace("phase-end", phase="fetch")
+                self._phase_trace("phase-end", "fetch")
             self._shuffle_rounds.append(
                 (float(self.node_store_bytes.sum()),
                  float(self.node_store_bytes.sum())))
@@ -509,14 +524,14 @@ class SparkSim:
         self.source_store_bytes[:] = 0.0
         store_start = self.sim.now
         if self.sim._tracing:
-            self.sim.trace("phase-start", phase="store", round=iteration)
+            self._phase_trace("phase-start", "store", round_=iteration)
         records = yield self._run_store_stage(iteration=iteration,
                                               scale=scale)
         self._finish_stage()
         self._phases[f"store[{iteration}]"] = PhaseMetrics(
             f"store[{iteration}]", store_start, self.sim.now, records)
         if self.sim._tracing:
-            self.sim.trace("phase-end", phase="store", round=iteration)
+            self._phase_trace("phase-end", "store", round_=iteration)
         yield from self._recovery_barrier()
 
         if spec.fetch_mode == "lustre-shared":
@@ -524,13 +539,13 @@ class SparkSim:
 
         fetch_start = self.sim.now
         if self.sim._tracing:
-            self.sim.trace("phase-start", phase="fetch", round=iteration)
+            self._phase_trace("phase-start", "fetch", round_=iteration)
         records = yield self._run_fetch_stage(iteration=iteration)
         self._finish_stage()
         self._phases[f"fetch[{iteration}]"] = PhaseMetrics(
             f"fetch[{iteration}]", fetch_start, self.sim.now, records)
         if self.sim._tracing:
-            self.sim.trace("phase-end", phase="fetch", round=iteration)
+            self._phase_trace("phase-end", "fetch", round_=iteration)
         self._shuffle_rounds.append(
             (float(self.node_store_bytes.sum()),
              float(self.node_store_bytes.sum())))
@@ -649,14 +664,14 @@ class SparkSim:
             return
         combine_start = self.sim.now
         if self.sim._tracing:
-            self.sim.trace("phase-start", phase="combine")
+            self._phase_trace("phase-start", "combine")
         records = yield self._run_combine_stage()
         self._finish_stage()
         self._apply_combine()
         self._phases["combine"] = PhaseMetrics(
             "combine", combine_start, self.sim.now, records)
         if self.sim._tracing:
-            self.sim.trace("phase-end", phase="combine")
+            self._phase_trace("phase-end", "combine")
 
     def _run_combine_stage(self):
         """One combine task per map output, pinned where it lives (the
@@ -767,7 +782,8 @@ class SparkSim:
             throttler = CongestionAwareDispatcher(
                 step=self.options.cad_step,
                 trigger_ratio=self.options.cad_trigger,
-                window=self.options.cad_window)
+                window=self.options.cad_window,
+                metrics=self.metrics)
             self.cad_controller = throttler
             if self.metrics.enabled:
                 obs_wiring.register_cad(self.metrics, throttler)
@@ -1198,9 +1214,16 @@ class SparkSim:
             yield from inner
             key = (node, cfg.spill_store, fid)
             self._vol_files[key] = self._vol_files.get(key, 0.0) + spilled
+            spill_t0 = self.sim.now
             yield vol.write(spilled, fid)
             yield vol.read(spilled, fid)
             vol.delete(spilled, fid)
+            if self.sim._tracing:
+                # Measured write + read-back seconds: lets the critical
+                # path carve the spill I/O out of the attempt's work.
+                self.sim.trace("spill-done", phase=phase, task=task_id,
+                               node=node,
+                               elapsed=self.sim.now - spill_t0)
             left = self._vol_files.get(key, 0.0) - spilled
             if left > 1e-9:
                 self._vol_files[key] = left

@@ -58,6 +58,18 @@ class SchedulingPolicy:
         """
         return nodes
 
+    def decline_info(self, node: int, queue: TaskQueue,
+                     now: float) -> dict:
+        """Why :meth:`select` just returned ``None`` for this offer.
+
+        Called by the runner *only under tracing*, immediately after a
+        decline, to record the decision's justifying state in the audit
+        log (obs/audit.py).  Implementations MUST be pure reads — no
+        queue pops, no counter bumps — so that traced and untraced runs
+        stay byte-identical.
+        """
+        return {"reason": "no-task"}
+
     def on_complete(self, task: SimTask, node: int, duration: float) -> None:
         """Completion notification (for adaptive policies)."""
 
@@ -126,6 +138,16 @@ class DelayScheduling(SchedulingPolicy):
         if ref is not None:
             self.skipped += 1
         return None
+
+    def decline_info(self, node: int, queue: TaskQueue,
+                     now: float) -> dict:
+        ref = self._reference(queue)
+        if ref is None or simtime.reached(now, ref + self.wait):
+            # Either the queue holds nothing launchable here, or the
+            # wait expired and only pinned-elsewhere tasks remain.
+            return {"reason": "no-task"}
+        return {"reason": "delay-wait", "wait": self.wait,
+                "reference": ref, "deadline": ref + self.wait}
 
     def next_retry(self, queue: TaskQueue, now: float) -> Optional[float]:
         ref = self._reference(queue)

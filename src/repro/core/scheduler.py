@@ -137,6 +137,12 @@ class StageRunner:
         self._m_failures = metrics.counter("sched.attempt_failures", labels)
         self._m_requeues = metrics.counter("sched.crash_requeues", labels)
         self._m_duration = metrics.histogram("sched.task_duration_s", labels)
+        # Decision counters (audit visibility: every declined offer by
+        # gate — CAD throttle, memory gate, policy/ELB decline).
+        self._m_throttles = metrics.counter("sched.throttle_declines",
+                                            labels)
+        self._m_mem_declines = metrics.counter("sched.mem_declines", labels)
+        self._m_declines = metrics.counter("sched.policy_declines", labels)
         self._retry_token = 0
         self._retry_deadline: Optional[float] = None
         sim.add_diagnostic(self.diagnostic_snapshot)
@@ -316,6 +322,7 @@ class StageRunner:
                     continue
                 if self.throttler is not None and \
                         not self.throttler.ready(node, now):
+                    self._m_throttles.inc()
                     t = self.throttler.retry_at(node)
                     if not simtime.reached(now, t):
                         # Pacing gate: ready() declined with the same
@@ -325,26 +332,43 @@ class StageRunner:
                             else min(throttle_retry, t)
                         if self.sim._tracing:
                             self.sim.trace("throttle", node=node,
-                                           reason="pacing", retry_at=t)
+                                           reason="pacing", retry_at=t,
+                                           **self._throttle_state(node))
                     else:
                         # Blocked on concurrency; the next completion or
                         # abandoned attempt on the node re-offers.
                         if self.sim._tracing:
                             self.sim.trace("throttle", node=node,
-                                           reason="concurrency")
+                                           reason="concurrency",
+                                           **self._throttle_state(node))
                     continue
                 if self.memory is not None and \
                         not self.memory.can_launch(node):
                     # Not enough free heap for a launch (rigid: one ideal
                     # heap; elastic: the shrink floor).  Re-offered by a
                     # completion here or a heap release anywhere.
+                    self._m_mem_declines.inc()
                     if self.sim._tracing:
-                        self.sim.trace("mem-decline", node=node)
+                        gate = self.memory
+                        self.sim.trace(
+                            "mem-decline", node=node,
+                            free=gate.memory.free(node),
+                            demand=gate.ideal,
+                            elastic=gate.elastic,
+                            floor=(gate.min_frac * gate.ideal
+                                   if gate.elastic else gate.ideal))
                     continue
                 task = self.policy.select(node, self.queue, now)
                 if task is None:
+                    self._m_declines.inc()
                     if self.sim._tracing:
-                        self.sim.trace("decline", node=node)
+                        # decline_info is a pure read re-deriving the
+                        # decision's justifying state (reason + numbers)
+                        # for the audit log.
+                        self.sim.trace(
+                            "decline", node=node,
+                            **self.policy.decline_info(node, self.queue,
+                                                       now))
                     continue
                 self._launch(task, node)
                 launched_any = True
@@ -357,6 +381,15 @@ class StageRunner:
                     self._arm_retry(retry)
                 break
         self._maybe_speculate()
+
+    def _throttle_state(self, node: int) -> Dict[str, object]:
+        """CAD state justifying a throttle decision (tracing only)."""
+        thr = self.throttler
+        return {"delay": thr.delay,
+                "in_flight": thr._in_flight.get(node, 0),
+                "target": thr.target_concurrency,
+                "window_avg": thr._window_avg,
+                "baseline": thr._baseline}
 
     def _arm_retry(self, when: float) -> None:
         self._retry_token += 1
@@ -466,7 +499,8 @@ class StageRunner:
             self.memory.on_launch(task, node)
         if self.sim._tracing:
             self.sim.trace("launch", task=task.task_id, node=node,
-                           speculative=speculative)
+                           speculative=speculative, phase=task.phase,
+                           queued=task.queued_at)
         proc = self.sim.process(self._run_task(task, node, speculative),
                                 name=f"task:{task.phase}#{task.task_id}")
         self._attempts.setdefault(task.task_id, []).append(
@@ -537,7 +571,25 @@ class StageRunner:
         self._m_duration.observe(duration)
         self.policy.on_complete(task, node, duration)
         if self.throttler is not None:
-            self.throttler.on_complete(duration, node)
+            if self.sim._tracing:
+                # Observe whether this completion moved the CAD delay so
+                # the audit log records the feedback step with the state
+                # that justified it (identical on_complete call either
+                # way — tracing reads, never steers).
+                thr = self.throttler
+                before = thr.delay
+                thr.on_complete(duration, node)
+                if thr.delay != before:
+                    self.sim.trace(
+                        "cad-step", node=node,
+                        step=("increase" if thr.delay > before
+                              else "decrease"),
+                        prev=before, delay=thr.delay,
+                        window_avg=thr._window_avg,
+                        baseline=thr._baseline,
+                        trigger_ratio=thr.trigger_ratio)
+            else:
+                self.throttler.on_complete(duration, node)
         if self.speculation is not None:
             self.speculation.on_complete(duration)
             if speculative:

@@ -1,0 +1,137 @@
+"""Scheduler decision audit: every veto/throttle/decline with the state
+that justified it.
+
+The offer loop already traces its decisions (``decline``, ``throttle``,
+``mem-decline``, ``cad-step``); since PR 10 those payloads carry the
+*justifying state* — the node volume vs. the cluster average behind an
+ELB veto, the CAD running mean vs. its trigger threshold behind a
+throttle step, the free heap vs. demand behind a memory decline.  This
+module folds the event stream (live :class:`TraceEvent` objects or
+runlog dicts) into typed :class:`AuditRecord` rows and renders the
+deterministic summaries ``repro explain`` prints.
+
+Actions:
+
+=================  =====================================================
+action             emitted when / state recorded
+=================  =====================================================
+``elb-veto``       ELB refused a node's offer: ``node_bytes``,
+                   ``cluster_avg``, ``threshold``
+``delay-pass``     delay scheduling skipped a non-local head-of-queue
+                   task: ``wait``, ``reference``, ``deadline``
+``policy-decline`` the policy simply had no eligible task
+``cad-throttle``   a CAD pacing/concurrency gate held a node back:
+                   ``delay``, ``in_flight``, ``target``,
+                   ``window_avg``, ``baseline``
+``cad-step``       CAD moved its delay: ``prev``, ``delay``,
+                   ``window_avg``, ``baseline``, ``trigger_ratio``
+``mem-decline``    the memory gate refused a launch: ``free``,
+                   ``demand``, ``floor``, ``elastic``
+=================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.obs.spans import _norm
+
+__all__ = ["AuditRecord", "build_audit", "audit_counts", "audit_lines"]
+
+#: Payload keys that are bookkeeping, not justifying state.
+_META_KEYS = frozenset({"t", "kind", "type", "node", "reason"})
+
+
+class AuditRecord:
+    """One audited scheduler decision."""
+
+    __slots__ = ("t", "action", "node", "reason", "state")
+
+    def __init__(self, t: float, action: str, node: Optional[int],
+                 reason: str, state: Dict[str, Any]):
+        self.t = t
+        self.action = action
+        self.node = node
+        self.reason = reason
+        self.state = state
+
+    def __repr__(self) -> str:  # debugging aid only
+        return (f"AuditRecord(t={self.t:.3f} {self.action} "
+                f"node={self.node} reason={self.reason!r})")
+
+
+def _state(d: Mapping[str, Any]) -> Dict[str, Any]:
+    return {k: v for k, v in d.items() if k not in _META_KEYS}
+
+
+def build_audit(events: Iterable[Any]) -> List[AuditRecord]:
+    """Fold the trace-event stream into audit records, in event order."""
+    out: List[AuditRecord] = []
+    for t, kind, d in _norm(events):
+        if kind == "decline":
+            reason = str(d.get("reason", "no-task"))
+            action = {"elb-veto": "elb-veto",
+                      "delay-wait": "delay-pass"}.get(reason,
+                                                      "policy-decline")
+            out.append(AuditRecord(t, action, d.get("node"), reason,
+                                   _state(d)))
+        elif kind == "throttle":
+            out.append(AuditRecord(t, "cad-throttle", d.get("node"),
+                                   str(d.get("reason", "?")), _state(d)))
+        elif kind == "cad-step":
+            out.append(AuditRecord(t, "cad-step", d.get("node"),
+                                   str(d.get("step", "?")), _state(d)))
+        elif kind == "mem-decline":
+            reason = ("elastic-floor" if d.get("elastic")
+                      else "rigid")
+            out.append(AuditRecord(t, "mem-decline", d.get("node"),
+                                   reason, _state(d)))
+    return out
+
+
+def audit_counts(records: Iterable[AuditRecord]
+                 ) -> List[Tuple[str, str, int]]:
+    """(action, reason, count) sorted by count desc, then name."""
+    counts: Dict[Tuple[str, str], int] = {}
+    for r in records:
+        key = (r.action, r.reason)
+        counts[key] = counts.get(key, 0) + 1
+    return sorted(((a, re, n) for (a, re), n in counts.items()),
+                  key=lambda x: (-x[2], x[0], x[1]))
+
+
+def _fmt_state(state: Mapping[str, Any]) -> str:
+    parts = []
+    for k in sorted(state):
+        v = state[k]
+        if isinstance(v, float):
+            parts.append(f"{k}={v:.4g}")
+        else:
+            parts.append(f"{k}={v}")
+    return " ".join(parts)
+
+
+def audit_lines(records: List[AuditRecord], limit: int = 8,
+                skip_uninteresting: bool = True) -> List[str]:
+    """Deterministic "top decision reasons" rendering: counts plus the
+    first occurrence's justifying state as the example."""
+    if skip_uninteresting:
+        interesting = [r for r in records
+                       if r.action != "policy-decline"]
+    else:
+        interesting = list(records)
+    lines = [f"scheduler decisions: {len(records)} audited, "
+             f"{len(interesting)} consequential"]
+    first: Dict[Tuple[str, str], AuditRecord] = {}
+    for r in interesting:
+        first.setdefault((r.action, r.reason), r)
+    for action, reason, n in audit_counts(interesting)[:limit]:
+        ex = first[(action, reason)]
+        where = f" node {ex.node}" if ex.node is not None else ""
+        state = _fmt_state(ex.state)
+        suffix = f" [t={ex.t:.3f}{where} {state}]" if state else ""
+        lines.append(f"  {action:<14s} {reason:<14s} x{n:<6d}"
+                     f" e.g.{suffix}")
+    if not interesting:
+        lines.append("  (none)")
+    return lines

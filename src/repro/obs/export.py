@@ -39,10 +39,12 @@ __all__ = ["RUNLOG_SCHEMA", "chrome_trace", "write_chrome_trace",
 RUNLOG_SCHEMA = 1
 
 #: Trace kinds exported as zero-duration instants on the engine lane.
+#: The PR-10 decision events (mem-decline, cad-step, spill-done) ride
+#: along so a Perfetto view shows the audited decisions in place.
 INSTANT_KINDS = frozenset({
     "fault-crash", "fault-restart", "fault-executor-loss",
     "fault-degrade", "fault-shuffle-loss", "task-lost", "throttle",
-    "failure",
+    "failure", "mem-decline", "cad-step", "spill-done",
 })
 
 _ATTEMPT_END = {"complete": "complete", "interrupt": "interrupt",

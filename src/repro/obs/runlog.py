@@ -35,19 +35,28 @@ class RunLog:
 
     def phase_windows(self) -> Dict[str, Tuple[float, float]]:
         """Phase name -> (start, end) from phase-start/phase-end events;
-        a phase missing its end closes at the last known timestamp."""
+        a phase missing its end closes at the last known timestamp.
+
+        Iterative phases carry a ``round`` in their payload; their
+        windows are keyed ``store[2]``-style so rounds do not collide
+        (without the suffix round N's end would close round 0's start).
+        """
         out: Dict[str, Tuple[float, float]] = {}
         starts: Dict[str, float] = {}
         last_t = self.times[-1] if self.times else 0.0
         for e in self.events:
             last_t = max(last_t, float(e.get("t", 0.0)))
         for e in self.events:
-            if e.get("kind") == "phase-start":
-                starts[e["phase"]] = float(e["t"])
-            elif e.get("kind") == "phase-end":
-                name = e["phase"]
-                if name in starts:
-                    out[name] = (starts.pop(name), float(e["t"]))
+            kind = e.get("kind")
+            if kind not in ("phase-start", "phase-end"):
+                continue
+            name = e["phase"]
+            if e.get("round") is not None:
+                name = f"{name}[{e['round']}]"
+            if kind == "phase-start":
+                starts[name] = float(e["t"])
+            elif name in starts:
+                out[name] = (starts.pop(name), float(e["t"]))
         for name, t0 in starts.items():
             out[name] = (t0, last_t)
         return out
@@ -73,29 +82,36 @@ class RunLog:
 def load_runlog(path: str) -> RunLog:
     log = RunLog()
     with open(path) as fh:
-        for raw in fh:
-            raw = raw.strip()
-            if not raw:
-                continue
+        rows = [ln.strip() for ln in fh]
+    rows = [ln for ln in rows if ln]
+    for i, raw in enumerate(rows):
+        try:
             rec = json.loads(raw)
-            typ = rec.get("type")
-            if typ == "meta":
-                log.meta = {k: v for k, v in rec.items() if k != "type"}
-            elif typ == "event":
-                log.events.append(
-                    {k: v for k, v in rec.items() if k != "type"})
-            elif typ == "sample":
-                n_prev = len(log.times)
-                log.times.append(float(rec["t"]))
-                values = rec.get("values", {})
-                for key, val in values.items():
-                    col = log.columns.get(key)
-                    if col is None:
-                        col = log.columns[key] = [nan] * n_prev
-                    col.append(nan if val is None else float(val))
-                for key, col in log.columns.items():
-                    if len(col) <= n_prev:
-                        col.append(nan)
-            elif typ == "summary":
-                log.summary = {k: v for k, v in rec.items() if k != "type"}
+        except ValueError:
+            if i == len(rows) - 1:
+                # A torn final line (writer killed mid-record): salvage
+                # everything before it.  Garbage anywhere else is a
+                # corrupt log and stays an error.
+                break
+            raise
+        typ = rec.get("type")
+        if typ == "meta":
+            log.meta = {k: v for k, v in rec.items() if k != "type"}
+        elif typ == "event":
+            log.events.append(
+                {k: v for k, v in rec.items() if k != "type"})
+        elif typ == "sample":
+            n_prev = len(log.times)
+            log.times.append(float(rec["t"]))
+            values = rec.get("values", {})
+            for key, val in values.items():
+                col = log.columns.get(key)
+                if col is None:
+                    col = log.columns[key] = [nan] * n_prev
+                col.append(nan if val is None else float(val))
+            for key, col in log.columns.items():
+                if len(col) <= n_prev:
+                    col.append(nan)
+        elif typ == "summary":
+            log.summary = {k: v for k, v in rec.items() if k != "type"}
     return log

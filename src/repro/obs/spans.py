@@ -1,0 +1,315 @@
+"""Structured span timeline assembled from trace events.
+
+The simulator's tracing layer (:mod:`repro.sim.trace`) emits a flat
+event stream; this module folds it into the three-level span tree the
+paper's characterization implies — **job → stage/phase → task
+attempt** — plus causal edges that record *why* a span starts when it
+does:
+
+================  ====================================================
+edge kind         meaning
+================  ====================================================
+``queued-at``     the attempt's task entered the queue at ``t``; the
+                  gap to launch is scheduler time, not work
+``throttle-wait`` a CAD pacing/concurrency gate held the attempt's
+                  node back in the window before this launch
+``mem-wait``      the memory gate declined the node's offer in the
+                  same window
+``fetch-source``  a shuffle flow terminated on the attempt's node
+                  while it ran (``src`` = serving node)
+``spill``         the attempt spilled; once the write+read-back
+                  finishes the measured seconds land in the attempt's
+                  ``spill_elapsed`` attr
+``combine``       the in-node combiner ran inside this phase
+``recovery``      a fault event occurred (anchored to the job span)
+================  ====================================================
+
+Everything here is *post-hoc*: spans are only built when a caller asks
+(``repro explain``, ``repro report``, the bench spans column), so the
+no-telemetry path stays allocation-free and fingerprints are untouched
+by construction.  Both event representations are accepted — live
+:class:`~repro.sim.trace.TraceEvent` objects from a
+:class:`~repro.obs.telemetry.Telemetry` bundle, and the ``{"t": ...,
+"kind": ..., ...payload}`` dicts read back from a JSONL run log.
+"""
+
+from __future__ import annotations
+
+from typing import (Any, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Tuple)
+
+__all__ = ["Span", "SpanEdge", "SpanRecorder", "PHASE_CATEGORY",
+           "phase_key", "base_phase"]
+
+#: Engine phase -> attribution category (see obs/critpath.py).
+PHASE_CATEGORY = {"compute": "compute", "combine": "combine",
+                  "store": "store", "fetch": "fetch",
+                  "recovery": "recovery"}
+
+#: Decision-event kind -> wait category it justifies.
+WAIT_KINDS = {"throttle": "scheduler-throttle",
+              "mem-decline": "memory-wait"}
+
+_ATTEMPT_END = ("complete", "interrupt", "failure")
+
+
+def phase_key(phase: str, round_: Optional[int] = None) -> str:
+    """Display/window name of a phase: ``store`` or ``store[2]`` for
+    per-iteration shuffle rounds."""
+    return f"{phase}[{round_}]" if round_ is not None else phase
+
+
+def base_phase(name: str) -> str:
+    """``store[2]`` -> ``store`` (category lookup key)."""
+    return name.partition("[")[0]
+
+
+class Span:
+    """One timed node of the span tree."""
+
+    __slots__ = ("span_id", "parent_id", "kind", "name", "start", "end",
+                 "node", "attrs")
+
+    def __init__(self, span_id: int, parent_id: Optional[int], kind: str,
+                 name: str, start: float, end: Optional[float] = None,
+                 node: Optional[int] = None,
+                 attrs: Optional[Dict[str, Any]] = None):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.kind = kind          # "job" | "phase" | "attempt"
+        self.name = name
+        self.start = start
+        self.end = end
+        self.node = node
+        self.attrs = attrs if attrs is not None else {}
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else self.start) \
+            - self.start
+
+    def __repr__(self) -> str:  # debugging aid only
+        return (f"Span({self.kind} {self.name!r} "
+                f"[{self.start:.3f}, {self.end}] node={self.node})")
+
+
+class SpanEdge:
+    """One causal edge: ``src`` span explains ``dst`` span."""
+
+    __slots__ = ("src", "dst", "kind", "attrs")
+
+    def __init__(self, src: int, dst: int, kind: str,
+                 attrs: Optional[Dict[str, Any]] = None):
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.attrs = attrs if attrs is not None else {}
+
+
+def _norm(events: Iterable[Any]) -> List[Tuple[float, str, Mapping]]:
+    """Normalize TraceEvent objects / runlog dicts to (t, kind, data)."""
+    out: List[Tuple[float, str, Mapping]] = []
+    for e in events:
+        t = getattr(e, "time", None)
+        if t is not None:
+            out.append((float(t), e.kind, e.data))
+        else:
+            out.append((float(e.get("t", 0.0)), str(e.get("kind", "")), e))
+    return out
+
+
+class SpanRecorder:
+    """The assembled span tree for one run.
+
+    Use the classmethod constructors; the instance exposes ``job`` (the
+    root span), ``phases`` and ``attempts`` (start-ordered), ``edges``,
+    plus the normalized decision/fault event lists
+    (:attr:`wait_events`, :attr:`fault_times`) that
+    :mod:`repro.obs.critpath` uses to categorize idle gaps.
+    """
+
+    def __init__(self):
+        self.spans: List[Span] = []
+        self.edges: List[SpanEdge] = []
+        self.job: Optional[Span] = None
+        self.phases: List[Span] = []
+        self.attempts: List[Span] = []
+        #: (t, wait-category, node) for throttle / mem-decline events.
+        self.wait_events: List[Tuple[float, str, Optional[int]]] = []
+        #: Timestamps of fault-* / task-lost events.
+        self.fault_times: List[float] = []
+        self.events: List[Tuple[float, str, Mapping]] = []
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_telemetry(cls, telemetry: Any) -> "SpanRecorder":
+        meta = telemetry.meta
+        return cls.from_events(
+            telemetry.events,
+            t_end=meta.get("job_time_s"),
+            job_name=str(meta.get("job_name", "job")))
+
+    @classmethod
+    def from_runlog(cls, log: Any) -> "SpanRecorder":
+        meta = log.meta
+        t_end = meta.get("job_time_s")
+        return cls.from_events(
+            log.events, t_end=float(t_end) if t_end is not None else None,
+            job_name=str(meta.get("job_name", "job")))
+
+    @classmethod
+    def from_events(cls, events: Iterable[Any], t0: float = 0.0,
+                    t_end: Optional[float] = None,
+                    job_name: str = "job") -> "SpanRecorder":
+        rec = cls()
+        evs = _norm(events)
+        if t_end is None:
+            t_end = max((t for t, _, _ in evs), default=t0)
+        rec.events = evs
+        job = rec._new_span(None, "job", job_name, t0)
+        rec.job = job
+
+        open_phases: Dict[Tuple[Any, str], Span] = {}
+        open_attempts: Dict[Tuple[Any, Any], List[Span]] = {}
+        #: node -> spans of attempts currently running there.
+        running: Dict[Any, List[Span]] = {}
+        #: node -> decision events since the last launch on that node.
+        waits: Dict[Any, List[Tuple[str, float, Mapping]]] = {}
+
+        for t, kind, d in evs:
+            if kind == "phase-start":
+                name = phase_key(d.get("phase", "?"), d.get("round"))
+                key = (d.get("job"), name)
+                sp = rec._new_span(job.span_id, "phase", name, t)
+                if d.get("job"):
+                    sp.attrs["job"] = d["job"]
+                open_phases[key] = sp
+                rec.phases.append(sp)
+            elif kind == "phase-end":
+                name = phase_key(d.get("phase", "?"), d.get("round"))
+                sp = open_phases.pop((d.get("job"), name), None)
+                if sp is not None:
+                    sp.end = t
+            elif kind == "launch":
+                parent = (max(open_phases.values(),
+                              key=lambda p: (p.start, p.span_id))
+                          if open_phases else job)
+                task, node = d.get("task"), d.get("node")
+                phase = d.get("phase", base_phase(parent.name)
+                               if parent is not job else "?")
+                sp = rec._new_span(parent.span_id, "attempt",
+                                   f"{phase}#{task}", t, node=node)
+                sp.attrs["task"] = task
+                sp.attrs["phase"] = phase
+                if d.get("speculative"):
+                    sp.attrs["speculative"] = True
+                queued = d.get("queued")
+                if queued is not None:
+                    sp.attrs["queued"] = float(queued)
+                    rec.edges.append(SpanEdge(
+                        parent.span_id, sp.span_id, "queued-at",
+                        {"t": float(queued)}))
+                for wcat, wt, wd in waits.pop(node, ()):  # noqa: B020
+                    rec.edges.append(SpanEdge(
+                        parent.span_id, sp.span_id,
+                        "throttle-wait" if wcat == "scheduler-throttle"
+                        else "mem-wait", {"t": wt}))
+                open_attempts.setdefault((task, node), []).append(sp)
+                running.setdefault(node, []).append(sp)
+                rec.attempts.append(sp)
+            elif kind in _ATTEMPT_END:
+                key = (d.get("task"), d.get("node"))
+                stack = open_attempts.get(key)
+                if stack:
+                    sp = stack.pop()
+                    sp.end = t
+                    sp.attrs["outcome"] = kind
+                    lst = running.get(key[1])
+                    if lst and sp in lst:
+                        lst.remove(sp)
+            elif kind in WAIT_KINDS:
+                node = d.get("node")
+                rec.wait_events.append((t, WAIT_KINDS[kind], node))
+                waits.setdefault(node, []).append((WAIT_KINDS[kind], t, d))
+            elif kind == "flow-end":
+                dst = d.get("dst")
+                lst = running.get(dst)
+                if lst:
+                    att = max(lst, key=lambda s: (s.start, s.span_id))
+                    rec.edges.append(SpanEdge(
+                        att.span_id, att.span_id, "fetch-source",
+                        {"src": d.get("src"), "t": t}))
+            elif kind == "spill":
+                sp = rec._open_attempt(open_attempts, d)
+                if sp is not None:
+                    sp.attrs["spill_bytes"] = \
+                        sp.attrs.get("spill_bytes", 0.0) \
+                        + float(d.get("bytes", 0.0))
+                    rec.edges.append(SpanEdge(
+                        sp.span_id, sp.span_id, "spill",
+                        {"bytes": d.get("bytes"), "t": t}))
+            elif kind == "spill-done":
+                sp = rec._open_attempt(open_attempts, d)
+                if sp is not None:
+                    sp.attrs["spill_elapsed"] = \
+                        sp.attrs.get("spill_elapsed", 0.0) \
+                        + float(d.get("elapsed", 0.0))
+            elif kind == "combine":
+                target = None
+                for (jb, name), sp in open_phases.items():
+                    if base_phase(name) == "combine":
+                        target = sp
+                if target is not None:
+                    target.attrs["pre"] = d.get("pre")
+                    target.attrs["post"] = d.get("post")
+                    rec.edges.append(SpanEdge(
+                        job.span_id, target.span_id, "combine",
+                        {"pre": d.get("pre"), "post": d.get("post")}))
+            elif kind.startswith("fault-") or kind == "task-lost":
+                rec.fault_times.append(t)
+                rec.edges.append(SpanEdge(
+                    job.span_id, job.span_id, "recovery",
+                    {"t": t, "kind": kind}))
+
+        job.end = max(t_end, job.start)
+        for sp in open_phases.values():
+            sp.end = job.end
+        for stack in open_attempts.values():
+            for sp in stack:
+                sp.end = job.end
+                sp.attrs["outcome"] = "unfinished"
+        rec.phases.sort(key=lambda s: (s.start, s.span_id))
+        rec.attempts.sort(key=lambda s: (s.start, s.span_id))
+        rec.wait_events.sort()
+        rec.fault_times.sort()
+        return rec
+
+    # -- internals --------------------------------------------------------
+
+    def _new_span(self, parent_id: Optional[int], kind: str, name: str,
+                  start: float, node: Optional[int] = None) -> Span:
+        sp = Span(len(self.spans), parent_id, kind, name, start, None,
+                  node)
+        self.spans.append(sp)
+        return sp
+
+    @staticmethod
+    def _open_attempt(open_attempts, d) -> Optional[Span]:
+        stack = open_attempts.get((d.get("task"), d.get("node")))
+        return stack[-1] if stack else None
+
+    # -- queries ----------------------------------------------------------
+
+    def span(self, span_id: int) -> Span:
+        return self.spans[span_id]
+
+    def edges_of(self, kind: str) -> List[SpanEdge]:
+        return [e for e in self.edges if e.kind == kind]
+
+    def attempts_between(self, a: float, b: float,
+                         eps: float = 1e-9) -> List[Span]:
+        """Attempts overlapping the open interval ``(a, b)``."""
+        return [s for s in self.attempts
+                if s.end is not None and s.end > a + eps
+                and s.start < b - eps]

@@ -16,9 +16,22 @@ Event kinds emitted by the stage runner:
 kind               meaning / payload
 =================  ==========================================================
 ``offer``          an offer sweep started (``free_slots``, ``pending``)
-``decline``        a policy returned no task for a free slot (``node``)
-``launch``         a task attempt started (``task``, ``node``, ``speculative``)
-``throttle``       CAD blocked a node (``node``, ``reason``, ``retry_at``)
+``decline``        a policy returned no task for a free slot (``node``,
+                   plus the policy's justifying state from
+                   ``decline_info``: ``reason``, and e.g. ELB's
+                   ``node_bytes``/``cluster_avg``/``threshold`` or delay
+                   scheduling's ``wait``/``reference``/``deadline``)
+``launch``         a task attempt started (``task``, ``node``,
+                   ``speculative``, ``phase``, ``queued``)
+``throttle``       CAD blocked a node (``node``, ``reason``,
+                   ``retry_at``, plus the gate state: ``delay``,
+                   ``in_flight``, ``target``, ``window_avg``,
+                   ``baseline``)
+``cad-step``       CAD moved its dispatch delay (``node``, ``step``,
+                   ``prev``, ``delay``, ``window_avg``, ``baseline``,
+                   ``trigger_ratio``)
+``mem-decline``    the memory gate refused a launch (``node``, ``free``,
+                   ``demand``, ``elastic``, ``floor``)
 ``retry-armed``    a wakeup timer was armed (``at``, ``token``)
 ``retry-fired``    a wakeup timer fired (``token``, ``stale``)
 ``spec-armed``     the speculation-horizon timer was armed (``at``, ``token``)
@@ -27,9 +40,11 @@ kind               meaning / payload
 ``failure``        an attempt failed (``task``, ``node``, ``count``)
 =================  ==========================================================
 
-The engine adds ``phase-start``/``phase-end``, the fault injector
-``fault-*``, and the fabric ``flow-start``/``flow-end`` (see
-DESIGN.md §10 for the full naming scheme).
+The engine adds ``phase-start``/``phase-end`` (``phase``, optional
+``round`` and ``job``) and ``spill-done`` (``task``, ``node``,
+``elapsed``), the fault injector ``fault-*``, and the fabric
+``flow-start``/``flow-end`` (see DESIGN.md §10 for the full naming
+scheme; the span/audit consumers are DESIGN.md §15).
 """
 
 from __future__ import annotations

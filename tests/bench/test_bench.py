@@ -66,6 +66,8 @@ class TestCheck:
         assert report.telemetry is None
         assert report.telemetry_matches is None
         assert report.to_json()["telemetry"] is None
+        assert report.spans is None
+        assert report.to_json()["spans"] is None
 
     def test_capture_dir_exports_trace_and_runlog(self, tmp_path):
         from repro.obs.validate import (validate_chrome_trace,
@@ -87,7 +89,7 @@ class TestReportSchema:
         assert path.endswith("BENCH_timer_churn.json")
         with open(path) as fh:
             doc = json.load(fh)
-        assert doc["schema"] == 3
+        assert doc["schema"] == 4
         assert doc["name"] == "timer_churn"
         assert doc["quick"] is True
         for mode in ("optimized", "reference"):
@@ -106,6 +108,11 @@ class TestReportSchema:
         assert tele["fingerprint_matches"] is True
         assert tele["wall_s"] >= 0
         assert isinstance(tele["overhead_pct"], float)
+        spans = doc["spans"]
+        assert spans["fingerprint_matches"] is True
+        assert spans["wall_s"] >= 0
+        assert spans["n_spans"] > 0
+        assert isinstance(spans["overhead_pct"], float)
 
     def test_fingerprint_digest_stable(self):
         fp = [("a", 1.0), ("b", 2.0)]

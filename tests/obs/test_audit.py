@@ -1,0 +1,157 @@
+"""Decision audit: every veto/throttle/decline carries justifying state.
+
+The acceptance bar from the PR: each ELB veto, CAD throttle step,
+delay-scheduling pass, and memory decline must appear in the audit with
+the state that justified it — and the audit counts must agree with the
+MetricsRegistry counters the same decisions bump.
+"""
+
+import pytest
+
+from repro.cluster.spec import GB, MB, hyperion
+from repro.core.engine import EngineOptions, run_job
+from repro.core.memory import MemoryConfig
+from repro.cluster.variability import UniformSpeed
+from repro.obs.audit import (AuditRecord, audit_counts, audit_lines,
+                             build_audit)
+from repro.obs.telemetry import Telemetry
+from repro.workloads import grep_spec, groupby_spec
+
+
+def _counter_sum(telemetry, prefix):
+    snap = telemetry.registry.snapshot()
+    return sum(v for k, v in snap["counters"].items()
+               if k.startswith(prefix))
+
+
+@pytest.fixture(scope="module")
+def elb_run():
+    """Heterogeneous nodes + ELB: the balancer vetoes data-heavy nodes."""
+    tele = Telemetry()
+    run_job(groupby_spec(16 * GB, split_bytes=32 * MB, n_reducers=64),
+            cluster_spec=hyperion(8), speed_model=UniformSpeed(0.6, 1.6),
+            options=EngineOptions(seed=5, elb=True), telemetry=tele)
+    return tele, build_audit(tele.events)
+
+
+@pytest.fixture(scope="module")
+def congested_run():
+    """Congested SSD + CAD + tight heap: throttles, steps, declines."""
+    tele = Telemetry()
+    run_job(groupby_spec(24 * GB, shuffle_store="ssd", n_reducers=32),
+            cluster_spec=hyperion(2),
+            options=EngineOptions(cad=True, seed=0,
+                                  memory=MemoryConfig(mem_frac=0.4)),
+            telemetry=tele)
+    return tele, build_audit(tele.events)
+
+
+class TestElbVetoAudit:
+    def test_every_veto_is_audited(self, elb_run):
+        tele, records = elb_run
+        vetoes = [r for r in records if r.action == "elb-veto"]
+        assert vetoes
+        assert len(vetoes) == _counter_sum(tele, "elb.vetoes_total")
+
+    def test_veto_state_justifies_the_decision(self, elb_run):
+        _, records = elb_run
+        for r in (r for r in records if r.action == "elb-veto"):
+            assert r.node is not None
+            assert r.state["node_bytes"] > \
+                r.state["cluster_avg"] * (1.0 + r.state["threshold"])
+
+
+class TestCadAudit:
+    def test_every_throttle_is_audited_with_gate_state(self,
+                                                       congested_run):
+        tele, records = congested_run
+        throttles = [r for r in records if r.action == "cad-throttle"]
+        assert throttles
+        assert len(throttles) == _counter_sum(tele,
+                                              "sched.throttle_declines")
+        for r in throttles:
+            assert r.reason in ("pacing", "concurrency")
+            for key in ("delay", "in_flight", "target", "window_avg",
+                        "baseline"):
+                assert key in r.state
+            if r.reason == "concurrency":
+                assert r.state["in_flight"] >= r.state["target"]
+
+    def test_cad_steps_record_the_feedback_signal(self, congested_run):
+        tele, records = congested_run
+        steps = [r for r in records if r.action == "cad-step"]
+        increases = [r for r in steps if r.reason == "increase"]
+        assert len(increases) == _counter_sum(
+            tele, "cad.delay_increases_total")
+        for r in increases:
+            assert r.state["delay"] > r.state["prev"]
+            # The justifying state: the running mean crossed the trigger.
+            assert r.state["window_avg"] >= \
+                r.state["trigger_ratio"] * r.state["baseline"]
+        for r in (r for r in steps if r.reason == "decrease"):
+            assert r.state["delay"] < r.state["prev"]
+
+
+class TestMemoryAudit:
+    def test_every_decline_is_audited_with_heap_state(self,
+                                                      congested_run):
+        tele, records = congested_run
+        declines = [r for r in records if r.action == "mem-decline"]
+        assert declines
+        assert len(declines) == _counter_sum(tele, "sched.mem_declines")
+        for r in declines:
+            assert r.reason == "rigid"
+            assert r.state["free"] < r.state["demand"]
+            assert r.state["floor"] == r.state["demand"]  # rigid gate
+
+    def test_elastic_floor_reason(self):
+        tele = Telemetry()
+        run_job(groupby_spec(8 * GB, shuffle_store="ssd"),
+                cluster_spec=hyperion(2),
+                options=EngineOptions(
+                    seed=0, memory=MemoryConfig(mem_frac=0.2,
+                                                elastic=True)),
+                telemetry=tele)
+        declines = [r for r in build_audit(tele.events)
+                    if r.action == "mem-decline"]
+        for r in declines:
+            assert r.reason == "elastic-floor"
+            assert r.state["floor"] < r.state["demand"]
+
+
+class TestDelaySchedulingAudit:
+    def test_delay_passes_record_the_wait_clock(self):
+        tele = Telemetry()
+        run_job(grep_spec(8 * GB, shuffle_store="ssd"),
+                cluster_spec=hyperion(4),
+                options=EngineOptions(seed=3, delay_scheduling=True),
+                telemetry=tele)
+        passes = [r for r in build_audit(tele.events)
+                  if r.action == "delay-pass"]
+        assert passes
+        for r in passes:
+            assert r.state["deadline"] == \
+                r.state["reference"] + r.state["wait"]
+            assert r.t < r.state["deadline"]
+
+
+class TestRendering:
+    def test_counts_sorted_and_lines_deterministic(self, congested_run):
+        _, records = congested_run
+        counts = audit_counts(records)
+        assert counts == sorted(counts, key=lambda x: (-x[2], x[0], x[1]))
+        lines = audit_lines(records)
+        assert lines == audit_lines(list(records))
+        assert lines[0].startswith("scheduler decisions:")
+        assert any("mem-decline" in ln for ln in lines)
+
+    def test_empty_stream(self):
+        assert build_audit([]) == []
+        lines = audit_lines([])
+        assert lines[-1].strip() == "(none)"
+
+    def test_policy_declines_counted_but_not_rendered(self):
+        recs = [AuditRecord(1.0, "policy-decline", 0, "no-task", {})]
+        lines = audit_lines(recs)
+        assert "1 audited, 0 consequential" in lines[0]
+        assert not any("policy-decline" in ln for ln in lines)

@@ -48,7 +48,11 @@ class TestRunCapture:
         assert main(["report", str(runlog)]) == 0
         out = capsys.readouterr().out
         assert "compute" in out and "store" in out and "fetch" in out
-        assert "task launches" in out
+        # Job runs get the span-sourced attribution instead of the old
+        # flat counter totals (PR 10).
+        assert "critical-path attribution:" in out
+        assert "bottleneck:" in out
+        assert "scheduler decisions:" in out
 
     def test_bad_probe_period_rejected(self, tmp_path):
         with pytest.raises(SystemExit):
@@ -64,6 +68,58 @@ class TestRunCapture:
                     if e["ph"] == "i"}
         assert "fault-crash" in instants
         assert "fault-restart" in instants
+
+
+class TestExplainCli:
+    _FLAGS = ["--workload", "groupby", "--data-gb", "2", "--nodes", "2",
+              "--seed", "1", "--cad"]
+
+    def test_run_mode_is_deterministic(self, capsys):
+        assert main(["explain", *self._FLAGS]) == 0
+        first = capsys.readouterr().out
+        assert main(["explain", *self._FLAGS]) == 0
+        assert capsys.readouterr().out == first
+        assert "critical path" in first
+        assert "time attribution:" in first
+        assert "bottleneck device:" in first
+        assert "scheduler decisions:" in first
+
+    def test_runlog_mode_matches_run_mode(self, tmp_path, capsys):
+        # Same job via --metrics-out: the post-mortem explanation must
+        # equal the live one (spans survive the JSONL round-trip).
+        _, runlog = _run_traced(tmp_path, "--cad")
+        capsys.readouterr()
+        assert main(["explain", str(runlog)]) == 0
+        from_log = capsys.readouterr().out
+        assert main(["explain", *self._FLAGS]) == 0
+        live = capsys.readouterr().out
+        assert from_log == live
+
+    def test_json_matches_telemetry_off_run(self, tmp_path, capsys):
+        off, on = tmp_path / "off.json", tmp_path / "on.json"
+        assert main(["run", *self._FLAGS, "--json", str(off)]) == 0
+        assert main(["explain", *self._FLAGS, "--json", str(on)]) == 0
+        assert off.read_text() == on.read_text()
+
+    def test_json_rejected_in_runlog_mode(self, tmp_path):
+        _, runlog = _run_traced(tmp_path)
+        with pytest.raises(SystemExit):
+            main(["explain", str(runlog), "--json",
+                  str(tmp_path / "x.json")])
+
+    def test_serve_explain_appends_to_unchanged_summary(self, capsys):
+        serve_flags = ["serve", "--arrival-rate", "0.2", "--jobs", "3",
+                       "--nodes", "2", "--seed", "1"]
+        assert main(serve_flags) == 0
+        plain = capsys.readouterr().out
+        assert main([*serve_flags, "--explain"]) == 0
+        explained = capsys.readouterr().out
+        # Telemetry observes without perturbing: the stream summary is
+        # byte-identical, the explanation is purely appended.
+        assert explained.startswith(plain)
+        assert "tenant attribution" in explained
+        assert "slowest tenant:" in explained
+        assert "scheduler decisions:" in explained
 
 
 class TestExperimentsCapture:

@@ -1,0 +1,111 @@
+"""RunLog edge cases: degenerate windows, iteration-suffixed phases,
+and torn trailing lines (a run killed mid-write must still load)."""
+
+import json
+from math import isnan
+
+import pytest
+
+from repro.obs.runlog import RunLog, load_runlog
+
+
+def _log_with(events=(), times=(), columns=None):
+    log = RunLog()
+    log.events = [dict(e) for e in events]
+    log.times = list(times)
+    log.columns = {k: list(v) for k, v in (columns or {}).items()}
+    return log
+
+
+class TestWindowMean:
+    def test_empty_window_is_nan(self):
+        log = _log_with(times=[0.0, 1.0],
+                        columns={"g": [1.0, 2.0]})
+        assert isnan(log.window_mean("g", 5.0, 6.0))
+
+    def test_degenerate_window_t0_equals_t1(self):
+        # A zero-width window still includes a sample landing exactly
+        # on it (both bounds are inclusive).
+        log = _log_with(times=[0.0, 1.0, 2.0],
+                        columns={"g": [1.0, 4.0, 9.0]})
+        assert log.window_mean("g", 1.0, 1.0) == 4.0
+        assert isnan(log.window_mean("g", 1.5, 1.5))
+
+    def test_missing_column_is_nan(self):
+        log = _log_with(times=[0.0], columns={})
+        assert isnan(log.window_mean("nope", 0.0, 1.0))
+
+    def test_nan_samples_skipped(self):
+        log = _log_with(times=[0.0, 1.0],
+                        columns={"g": [float("nan"), 3.0]})
+        assert log.window_mean("g", 0.0, 1.0) == 3.0
+
+
+class TestPhaseWindows:
+    def test_iteration_rounds_do_not_collide(self):
+        # Three store rounds share the phase name; the round suffix must
+        # keep their windows apart (round 2's end must not close round
+        # 0's start).
+        events = []
+        for i, (t0, t1) in enumerate([(0.0, 1.0), (2.0, 3.0),
+                                      (4.0, 5.0)]):
+            events.append({"t": t0, "kind": "phase-start",
+                           "phase": "store", "round": i})
+            events.append({"t": t1, "kind": "phase-end",
+                           "phase": "store", "round": i})
+        log = _log_with(events=events)
+        windows = log.phase_windows()
+        assert windows == {"store[0]": (0.0, 1.0), "store[1]": (2.0, 3.0),
+                           "store[2]": (4.0, 5.0)}
+
+    def test_unsuffixed_phase_unchanged(self):
+        log = _log_with(events=[
+            {"t": 0.0, "kind": "phase-start", "phase": "compute"},
+            {"t": 2.5, "kind": "phase-end", "phase": "compute"}])
+        assert log.phase_windows() == {"compute": (0.0, 2.5)}
+
+    def test_unclosed_phase_ends_at_last_timestamp(self):
+        log = _log_with(events=[
+            {"t": 1.0, "kind": "phase-start", "phase": "store",
+             "round": 2},
+            {"t": 7.0, "kind": "launch", "task": 0, "node": 0}])
+        assert log.phase_windows() == {"store[2]": (1.0, 7.0)}
+
+
+class TestLoadRunlogTornTail:
+    def _write(self, tmp_path, lines):
+        path = tmp_path / "run.jsonl"
+        path.write_text("\n".join(lines))
+        return str(path)
+
+    def test_truncated_final_line_salvages_the_rest(self, tmp_path):
+        path = self._write(tmp_path, [
+            json.dumps({"type": "meta", "workload": "g"}),
+            json.dumps({"type": "event", "t": 1.0, "kind": "launch"}),
+            '{"type": "event", "t": 2.0, "ki',  # torn mid-record
+        ])
+        log = load_runlog(path)
+        assert log.meta["workload"] == "g"
+        assert len(log.events) == 1
+
+    def test_garbage_final_line_tolerated(self, tmp_path):
+        path = self._write(tmp_path, [
+            json.dumps({"type": "event", "t": 1.0, "kind": "launch"}),
+            "not json at all",
+        ])
+        assert len(load_runlog(path).events) == 1
+
+    def test_garbage_mid_file_still_raises(self, tmp_path):
+        path = self._write(tmp_path, [
+            json.dumps({"type": "meta"}),
+            "not json at all",
+            json.dumps({"type": "event", "t": 1.0, "kind": "launch"}),
+        ])
+        with pytest.raises(ValueError):
+            load_runlog(path)
+
+    def test_trailing_blank_lines_ignored(self, tmp_path):
+        path = self._write(tmp_path, [
+            json.dumps({"type": "event", "t": 1.0, "kind": "launch"}),
+            "", "", ""])
+        assert len(load_runlog(path).events) == 1

@@ -1,0 +1,161 @@
+"""Span recorder + critical-path attribution (the PR 10 tentpole).
+
+The load-bearing acceptance assertion lives here: on a seeded
+shuffle-heavy run the critical path's category attribution sums to the
+job wall-clock (the partition is exact by construction — these tests
+pin it), the chain is gapless, and the bottleneck node/device are
+named.  A second group asserts the explanation survives the JSONL
+round trip and that assembling spans never perturbs the simulation.
+"""
+
+import pytest
+
+from repro.cluster.spec import GB, hyperion
+from repro.core.engine import EngineOptions, JobSpec, run_job
+from repro.core.memory import MemoryConfig
+from repro.obs.critpath import (CATEGORIES, attribution, bottleneck,
+                                critical_path, explain_lines, node_blame)
+from repro.obs.spans import SpanRecorder, base_phase, phase_key
+from repro.obs.telemetry import Telemetry
+from repro.workloads import groupby_spec
+
+_EPS = 1e-6
+
+
+def _shuffle_heavy(telemetry=None):
+    """Congested SSD shuffle under CAD + a tight managed heap: the run
+    produces throttle waits, memory declines, and CAD steps."""
+    return run_job(
+        groupby_spec(24 * GB, shuffle_store="ssd", n_reducers=32),
+        cluster_spec=hyperion(2),
+        options=EngineOptions(cad=True, seed=0,
+                              memory=MemoryConfig(mem_frac=0.4)),
+        telemetry=telemetry)
+
+
+@pytest.fixture(scope="module")
+def heavy():
+    tele = Telemetry(probe_period=0.25)
+    result = _shuffle_heavy(tele)
+    return tele, result, SpanRecorder.from_telemetry(tele)
+
+
+class TestSpanTree:
+    def test_three_level_tree(self, heavy):
+        _, result, rec = heavy
+        assert rec.job is not None
+        assert rec.job.end == result.job_time
+        assert rec.phases and rec.attempts
+        phase_ids = {p.span_id for p in rec.phases}
+        for att in rec.attempts:
+            assert att.parent_id in phase_ids
+            assert att.end is not None
+            assert att.attrs["outcome"] in ("complete", "interrupt",
+                                            "failure", "unfinished")
+
+    def test_every_attempt_has_queued_edge(self, heavy):
+        _, _, rec = heavy
+        assert len(rec.edges_of("queued-at")) == len(rec.attempts)
+
+    def test_wait_edges_recorded(self, heavy):
+        _, _, rec = heavy
+        kinds = {e.kind for e in rec.edges}
+        assert "throttle-wait" in kinds or "mem-wait" in kinds
+        assert rec.wait_events == sorted(rec.wait_events)
+
+    def test_phase_key_round_trip(self):
+        assert phase_key("store") == "store"
+        assert phase_key("store", 2) == "store[2]"
+        assert base_phase("store[2]") == "store"
+        assert base_phase("compute") == "compute"
+
+
+class TestCriticalPath:
+    def test_attribution_sums_to_wall_clock(self, heavy):
+        _, result, rec = heavy
+        attr = attribution(critical_path(rec))
+        assert sum(attr.values()) == pytest.approx(result.job_time,
+                                                   abs=_EPS)
+
+    def test_chain_is_gapless_and_ordered(self, heavy):
+        _, result, rec = heavy
+        segs = critical_path(rec)
+        assert segs[0].start == pytest.approx(0.0, abs=_EPS)
+        assert segs[-1].end == pytest.approx(result.job_time, abs=_EPS)
+        for a, b in zip(segs, segs[1:]):
+            assert b.start == pytest.approx(a.end, abs=_EPS)
+            assert b.end > b.start
+
+    def test_all_categories_present(self, heavy):
+        _, _, rec = heavy
+        attr = attribution(critical_path(rec))
+        assert set(attr) == set(CATEGORIES)
+
+    def test_congestion_shows_up_as_throttle_time(self, heavy):
+        _, _, rec = heavy
+        attr = attribution(critical_path(rec))
+        assert attr["scheduler-throttle"] > 0
+
+    def test_bottleneck_names_node_and_device(self, heavy):
+        tele, result, rec = heavy
+        segs = critical_path(rec)
+        node, node_s, dev, dev_s = bottleneck(segs, tele.meta)
+        assert node in range(2)
+        assert node_s == pytest.approx(max(node_blame(segs).values()))
+        # The congested store dominates: the SSD is the named device.
+        assert dev == "ssd"
+        assert 0 < dev_s <= result.job_time + _EPS
+
+    def test_iterative_rounds_nest_and_still_sum(self):
+        spec = JobSpec(name="IterShuffle", input_bytes=2 * GB,
+                       shuffle_store="ramdisk", intermediate_ratio=0.5,
+                       iterations=3)
+        tele = Telemetry()
+        result = run_job(spec, cluster_spec=hyperion(2),
+                         options=EngineOptions(seed=1), telemetry=tele)
+        rec = SpanRecorder.from_telemetry(tele)
+        names = [p.name for p in rec.phases]
+        assert "store[0]" in names and "fetch[2]" in names
+        attr = attribution(critical_path(rec))
+        assert sum(attr.values()) == pytest.approx(result.job_time,
+                                                   abs=_EPS)
+        assert attr["store"] > 0 and attr["fetch"] > 0
+
+    def test_explain_lines_deterministic_across_runs(self, heavy):
+        tele, _, rec = heavy
+        again = Telemetry(probe_period=0.25)
+        _shuffle_heavy(again)
+        rec2 = SpanRecorder.from_telemetry(again)
+        assert explain_lines(rec, tele.meta) == \
+            explain_lines(rec2, again.meta)
+
+
+class TestRoundTripAndInvariance:
+    def test_runlog_round_trip_gives_same_explanation(self, heavy,
+                                                      tmp_path):
+        from repro.obs.export import write_runlog
+        from repro.obs.runlog import load_runlog
+        tele, _, rec = heavy
+        path = tmp_path / "run.jsonl"
+        write_runlog(str(path), tele)
+        log = load_runlog(str(path))
+        rec2 = SpanRecorder.from_runlog(log)
+        assert explain_lines(rec, tele.meta) == \
+            explain_lines(rec2, log.meta)
+
+    def test_spans_never_perturb_the_simulation(self, heavy):
+        _, observed, rec = heavy
+        bare = _shuffle_heavy()
+        assert observed.job_time == bare.job_time
+        assert sorted((t.task_id, t.phase, t.node, t.started_at,
+                       t.finished_at) for t in observed.all_tasks()) == \
+            sorted((t.task_id, t.phase, t.node, t.started_at,
+                    t.finished_at) for t in bare.all_tasks())
+        # ... and the explanation covers exactly that unperturbed run.
+        assert sum(attribution(critical_path(rec)).values()) == \
+            pytest.approx(bare.job_time, abs=_EPS)
+
+    def test_empty_recorder_yields_no_path(self):
+        rec = SpanRecorder.from_events([], t_end=0.0)
+        assert critical_path(rec) == []
+        assert attribution([]) == {c: 0.0 for c in CATEGORIES}

@@ -50,3 +50,49 @@ def test_telemetry_run_does_allocate(instrument_counts):
     run_scenario("stream_sustained", quick=True,
                  telemetry=Telemetry(probe_period=0.25))
     assert instrument_counts["Counter"] > 0
+
+
+@pytest.fixture
+def span_counts(monkeypatch):
+    """Count every span/edge/audit-record construction during the test.
+
+    The explainer stack (PR 10) is strictly post-hoc: a run without
+    telemetry must build none of it — all span assembly happens only
+    when ``repro explain``/``report``/the bench spans column asks.
+    """
+    from repro.obs import audit, spans
+    counts = {"Span": 0, "SpanEdge": 0, "SpanRecorder": 0,
+              "AuditRecord": 0}
+    for mod, name in ((spans, "Span"), (spans, "SpanEdge"),
+                      (spans, "SpanRecorder"), (audit, "AuditRecord")):
+        cls = getattr(mod, name)
+        original = cls.__init__
+
+        def spy(self, *args, _name=name, _original=original, **kwargs):
+            counts[_name] += 1
+            _original(self, *args, **kwargs)
+
+        monkeypatch.setattr(cls, "__init__", spy)
+    return counts
+
+
+@pytest.mark.parametrize("scenario", ["shuffle_wave", "stream_sustained"])
+def test_no_telemetry_run_builds_no_spans(scenario, span_counts):
+    result = run_scenario(scenario, quick=True)  # no telemetry attached
+    assert result.events > 0
+    assert span_counts == {"Span": 0, "SpanEdge": 0, "SpanRecorder": 0,
+                           "AuditRecord": 0}
+
+
+def test_explaining_a_run_does_build_spans(span_counts):
+    """The span spy works: folding a traced run constructs the tree."""
+    from repro.obs.audit import build_audit
+    from repro.obs.spans import SpanRecorder
+    from repro.obs.telemetry import Telemetry
+    tele = Telemetry(probe_period=0.25)
+    run_scenario("stream_sustained", quick=True, telemetry=tele)
+    assert span_counts["Span"] == 0  # nothing during the run itself
+    SpanRecorder.from_telemetry(tele)
+    build_audit(tele.events)
+    assert span_counts["SpanRecorder"] == 1
+    assert span_counts["Span"] > 0
